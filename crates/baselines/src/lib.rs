@@ -1,0 +1,22 @@
+//! State-of-the-art baselines for the Roadrunner evaluation.
+//!
+//! The paper compares against two runtimes (§6.1):
+//!
+//! * [`runc`] — native containers exchanging data over HTTP with
+//!   host-speed serialization, the performance *upper bound* ("the best
+//!   achievable performance with Wasm" is approaching this);
+//! * [`wasmedge`] — state-of-the-art Wasm functions exchanging data over
+//!   HTTP through WASI with slow, single-threaded in-VM serialization —
+//!   the system Roadrunner improves by 44–89 %.
+//!
+//! [`coldstart`] additionally models Fig. 2a (cold start, execution
+//! latency and artifact size for containers vs Wasm).
+
+pub mod coldstart;
+pub mod common;
+pub mod runc;
+pub mod wasmedge;
+
+pub use common::BaselineOutcome;
+pub use runc::RuncPair;
+pub use wasmedge::WasmedgePair;

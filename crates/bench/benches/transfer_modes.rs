@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks over the three Roadrunner transfer modes
+//! and the two baselines (real wall-clock cost of the mechanisms, small
+//! payloads). The paper-scale virtual-time figures come from the
+//! `fig*` binaries; these benches verify the *mechanisms* are cheap and
+//! rank correctly in real time too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use roadrunner_bench::{measure_transfer, measure_transfer_intra, System, MB};
+
+fn transfer_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer");
+    let size = MB;
+    group.throughput(Throughput::Bytes(size as u64));
+    for system in System::intra_node() {
+        group.bench_with_input(
+            BenchmarkId::new("intra-1MB", system.label()),
+            &system,
+            |b, &system| b.iter(|| measure_transfer_intra(system, size)),
+        );
+    }
+    for system in System::inter_node() {
+        group.bench_with_input(
+            BenchmarkId::new("inter-1MB", system.label()),
+            &system,
+            |b, &system| b.iter(|| measure_transfer(system, size)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = transfer_modes
+}
+criterion_main!(benches);

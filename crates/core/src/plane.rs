@@ -1,0 +1,515 @@
+//! The Roadrunner data plane: mode selection and workflow integration.
+//!
+//! [`RoadrunnerPlane`] owns the shims of a deployment and implements
+//! [`roadrunner_platform::DataPlane`], so the platform's workflow engine
+//! can run over it. For every edge it derives the best transfer mode from
+//! placement alone — "Roadrunner optimizes communication regardless of
+//! the scheduler's decisions" (paper §2.2):
+//!
+//! * same shim (functions the user grouped into one VM) → **user space**;
+//! * same node, different sandboxes → **kernel space** (Unix socket);
+//! * different nodes → **network** (virtual data hose).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use roadrunner_platform::{DataPlane, FunctionBundle, PlatformError};
+use roadrunner_vkernel::tcp::{TcpConn, TcpEndpoint};
+use roadrunner_vkernel::unix::{UnixConn, UnixEndpoint};
+use roadrunner_vkernel::{Nanos, Testbed};
+use roadrunner_wasm::types::Value;
+
+use crate::config::ShimConfig;
+use crate::error::RoadrunnerError;
+use crate::region::MemoryRegion;
+use crate::shim::Shim;
+use crate::{hose, kernelspace, userspace};
+
+/// Which transfer mechanism an edge used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Both functions in one Wasm VM (paper §4.1).
+    UserSpace,
+    /// Co-located sandboxes over a Unix socket (paper §4.2).
+    KernelSpace,
+    /// Remote nodes over the virtual data hose (paper §4.3).
+    Network,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Mode::UserSpace => "user-space",
+            Mode::KernelSpace => "kernel-space",
+            Mode::Network => "network",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Timing breakdown of the last transfer, in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeBreakdown {
+    /// Mode the edge used.
+    pub mode: Mode,
+    /// Input delivery + source handler execution (function work, not
+    /// transfer — the paper measures from "source sends" onwards).
+    pub prepare_ns: Nanos,
+    /// From outbox handoff to the payload resting in the target's linear
+    /// memory (the paper's transfer latency).
+    pub transfer_ns: Nanos,
+    /// Target handler execution.
+    pub consume_ns: Nanos,
+}
+
+impl EdgeBreakdown {
+    /// Everything, end to end.
+    pub fn total_ns(&self) -> Nanos {
+        self.prepare_ns + self.transfer_ns + self.consume_ns
+    }
+}
+
+struct FunctionEntry {
+    shim_idx: usize,
+    node: usize,
+    handler: String,
+    /// Result arity of the handler export (0 or 1) — consume returns an
+    /// ack, produce/relay return nothing.
+    handler_returns: bool,
+}
+
+/// The live Roadrunner deployment: shims, placements and cached channels.
+pub struct RoadrunnerPlane {
+    testbed: Arc<Testbed>,
+    shims: Vec<Shim>,
+    shim_node: Vec<usize>,
+    functions: HashMap<String, FunctionEntry>,
+    unix_links: HashMap<(usize, usize), (UnixEndpoint, UnixEndpoint)>,
+    tcp_links: HashMap<(usize, usize), (TcpEndpoint, TcpEndpoint)>,
+    last_breakdown: Option<EdgeBreakdown>,
+    config: ShimConfig,
+}
+
+impl std::fmt::Debug for RoadrunnerPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoadrunnerPlane")
+            .field("functions", &self.functions.keys().collect::<Vec<_>>())
+            .field("shims", &self.shims.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RoadrunnerPlane {
+    /// Creates an empty plane over `testbed`.
+    pub fn new(testbed: Arc<Testbed>, config: ShimConfig) -> Self {
+        Self {
+            testbed,
+            shims: Vec::new(),
+            shim_node: Vec::new(),
+            functions: HashMap::new(),
+            unix_links: HashMap::new(),
+            tcp_links: HashMap::new(),
+            last_breakdown: None,
+            config,
+        }
+    }
+
+    /// Deploys `function` in its **own** shim/sandbox on `node`.
+    /// `handler` is the export invoked when input arrives;
+    /// `handler_returns` tells the plane whether it yields an ack value.
+    ///
+    /// # Errors
+    ///
+    /// Shim load errors (bad bundle, trust — not applicable here).
+    pub fn deploy(
+        &mut self,
+        node: usize,
+        function: &str,
+        bundle: Arc<FunctionBundle>,
+        handler: &str,
+        handler_returns: bool,
+    ) -> Result<(), RoadrunnerError> {
+        let mut shim = Shim::new(function, self.testbed.node(node), self.config);
+        shim.load_module(function, bundle)?;
+        let shim_idx = self.shims.len();
+        self.shims.push(shim);
+        self.shim_node.push(node);
+        self.functions.insert(
+            function.to_owned(),
+            FunctionEntry {
+                shim_idx,
+                node,
+                handler: handler.to_owned(),
+                handler_returns,
+            },
+        );
+        Ok(())
+    }
+
+    /// Deploys `function` **into the same Wasm VM** as `colocate_with`,
+    /// enabling user-space mode between them. The shim enforces the
+    /// workflow/tenant trust rule.
+    ///
+    /// # Errors
+    ///
+    /// [`RoadrunnerError::UnknownModule`] if `colocate_with` is not
+    /// deployed; [`RoadrunnerError::TrustViolation`] on a trust mismatch.
+    pub fn deploy_into_shared_vm(
+        &mut self,
+        colocate_with: &str,
+        function: &str,
+        bundle: Arc<FunctionBundle>,
+        handler: &str,
+        handler_returns: bool,
+    ) -> Result<(), RoadrunnerError> {
+        let host = self
+            .functions
+            .get(colocate_with)
+            .ok_or_else(|| RoadrunnerError::UnknownModule(colocate_with.to_owned()))?;
+        let shim_idx = host.shim_idx;
+        let node = host.node;
+        self.shims[shim_idx].load_module(function, bundle)?;
+        self.functions.insert(
+            function.to_owned(),
+            FunctionEntry {
+                shim_idx,
+                node,
+                handler: handler.to_owned(),
+                handler_returns,
+            },
+        );
+        Ok(())
+    }
+
+    fn entry(&self, function: &str) -> Result<&FunctionEntry, RoadrunnerError> {
+        self.functions
+            .get(function)
+            .ok_or_else(|| RoadrunnerError::UnknownModule(function.to_owned()))
+    }
+
+    /// The mode an edge between two deployed functions will use.
+    ///
+    /// # Errors
+    ///
+    /// [`RoadrunnerError::UnknownModule`] for undeployed functions.
+    pub fn mode_of(&self, from: &str, to: &str) -> Result<Mode, RoadrunnerError> {
+        let a = self.entry(from)?;
+        let b = self.entry(to)?;
+        Ok(if a.shim_idx == b.shim_idx {
+            Mode::UserSpace
+        } else if a.node == b.node {
+            Mode::KernelSpace
+        } else {
+            Mode::Network
+        })
+    }
+
+    /// Breakdown of the most recent transfer.
+    pub fn last_breakdown(&self) -> Option<EdgeBreakdown> {
+        self.last_breakdown
+    }
+
+    /// Shim hosting `function` (for telemetry and tests).
+    ///
+    /// # Errors
+    ///
+    /// [`RoadrunnerError::UnknownModule`] for undeployed functions.
+    pub fn shim_of(&self, function: &str) -> Result<&Shim, RoadrunnerError> {
+        Ok(&self.shims[self.entry(function)?.shim_idx])
+    }
+
+    fn unix_pair(&mut self, a: usize, b: usize) -> (usize, usize) {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.unix_links.entry(key).or_insert_with(UnixConn::pair);
+        (key.0, key.1)
+    }
+
+    fn tcp_pair(&mut self, a: usize, b: usize) {
+        let key = if a < b { (a, b) } else { (b, a) };
+        if !self.tcp_links.contains_key(&key) {
+            let node_a = self.shim_node[key.0];
+            let node_b = self.shim_node[key.1];
+            let link = Arc::clone(self.testbed.link_between(node_a, node_b));
+            let sandbox = self.shims[key.0].sandbox().clone();
+            let pair = TcpConn::establish(&sandbox, link);
+            self.tcp_links.insert(key, pair);
+        }
+    }
+
+    /// Delivers `payload` into `function` and runs its handler —
+    /// the ingress step a platform performs for the first function of a
+    /// workflow.
+    ///
+    /// # Errors
+    ///
+    /// Shim access and trap errors.
+    pub fn inject(&mut self, function: &str, payload: &[u8]) -> Result<(), RoadrunnerError> {
+        let entry = self.entry(function)?;
+        let shim_idx = entry.shim_idx;
+        let handler = entry.handler.clone();
+        let shim = &mut self.shims[shim_idx];
+        let region = shim.write_memory_host(function, payload)?;
+        shim.invoke(
+            function,
+            &handler,
+            &[Value::I32(region.addr as i32), Value::I32(region.len as i32)],
+        )?;
+        Ok(())
+    }
+
+    fn run_handler(
+        &mut self,
+        function: &str,
+        region: MemoryRegion,
+    ) -> Result<(), RoadrunnerError> {
+        let entry = self.entry(function)?;
+        let shim_idx = entry.shim_idx;
+        let handler = entry.handler.clone();
+        let returns = entry.handler_returns;
+        let out = self.shims[shim_idx].invoke(
+            function,
+            &handler,
+            &[Value::I32(region.addr as i32), Value::I32(region.len as i32)],
+        )?;
+        if returns {
+            debug_assert_eq!(out.len(), 1, "acking handlers return one value");
+        }
+        Ok(())
+    }
+
+    /// Executes one edge: ensures the source has pending output, moves it
+    /// with the placement-derived mode, runs the target handler, and
+    /// returns the bytes as they rest in the target's memory.
+    ///
+    /// # Errors
+    ///
+    /// Any shim/kernel error from the underlying mode.
+    pub fn transfer_edge(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: &Bytes,
+    ) -> Result<Bytes, RoadrunnerError> {
+        let mode = self.mode_of(from, to)?;
+        let clock = self.testbed.clock().clone();
+
+        // Preparation: if the source holds no pending outbox (workflow
+        // entry point), deliver the payload and run its handler.
+        let t0 = clock.now();
+        let from_shim = self.entry(from)?.shim_idx;
+        let has_outbox = {
+            let shim = &mut self.shims[from_shim];
+            // peek without consuming
+            shim.wasi_mut(from).ok(); // ensure module exists
+            let state_has = {
+                // take then restore is avoided: use a dedicated peek.
+                // Shim::take_outbox consumes; use ShimState::peek via
+                // peek API on the shim.
+                self.shims[from_shim].peek_outbox(from)?
+            };
+            state_has.is_some()
+        };
+        if !has_outbox {
+            self.inject(from, payload)?;
+        }
+        let prepare_ns = clock.now() - t0;
+
+        // Transfer proper.
+        let t1 = clock.now();
+        let to_shim = self.entry(to)?.shim_idx;
+        let region_b = match mode {
+            Mode::UserSpace => {
+                let shim = &mut self.shims[from_shim];
+                let (region, _) = userspace::transfer(shim, from, to)?;
+                region
+            }
+            Mode::KernelSpace => {
+                let (i, j) = self.unix_pair(from_shim, to_shim);
+                let (ea, eb) = self.unix_links.get(&(i, j)).expect("just ensured");
+                // Endpoint 0 belongs to shim i; pick by direction.
+                let (send_ep, recv_ep) =
+                    if from_shim == i { (ea, eb) } else { (eb, ea) };
+                let send_ep = send_ep_clone(send_ep);
+                let recv_ep = send_ep_clone(recv_ep);
+                kernelspace::send(&mut self.shims[from_shim], from, &send_ep)?;
+                kernelspace::recv(&mut self.shims[to_shim], to, &recv_ep)?
+            }
+            Mode::Network => {
+                self.tcp_pair(from_shim, to_shim);
+                let key = if from_shim < to_shim {
+                    (from_shim, to_shim)
+                } else {
+                    (to_shim, from_shim)
+                };
+                let (ea, eb) = self.tcp_links.get(&key).expect("just ensured");
+                let (send_ep, recv_ep) =
+                    if from_shim == key.0 { (ea, eb) } else { (eb, ea) };
+                let send_ep = tcp_ep_clone(send_ep);
+                let recv_ep = tcp_ep_clone(recv_ep);
+                hose::send(&mut self.shims[from_shim], from, &send_ep)?;
+                hose::recv(&mut self.shims[to_shim], to, &recv_ep)?
+            }
+        };
+        let transfer_ns = clock.now() - t1;
+
+        // Target handler.
+        let t2 = clock.now();
+        self.run_handler(to, region_b)?;
+        let consume_ns = clock.now() - t2;
+
+        self.last_breakdown = Some(EdgeBreakdown { mode, prepare_ns, transfer_ns, consume_ns });
+
+        // Integrity read-back. If the target handler forwarded the data
+        // (relay) the region is still registered; if it consumed it we
+        // read before releasing.
+        let received = self.shims[to_shim].peek_memory(to, region_b)?;
+        let target_kept = self.shims[to_shim].peek_outbox(to)?.is_some();
+        if !target_kept {
+            self.shims[to_shim].deallocate(to, region_b)?;
+        }
+        Ok(received)
+    }
+}
+
+// The vkernel endpoints are handle types over shared state; expose
+// cheap clones for split-borrow ergonomics.
+fn send_ep_clone(ep: &UnixEndpoint) -> UnixEndpoint {
+    ep.clone_handle()
+}
+
+fn tcp_ep_clone(ep: &TcpEndpoint) -> TcpEndpoint {
+    ep.clone_handle()
+}
+
+impl DataPlane for RoadrunnerPlane {
+    fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
+        self.transfer_edge(from, to, &payload).map_err(PlatformError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guest;
+    use roadrunner_wasm::encode;
+
+    fn bundle(name: &str, module: roadrunner_wasm::Module) -> Arc<FunctionBundle> {
+        Arc::new(
+            FunctionBundle::wasm(name, encode::encode(&module))
+                .with_workflow("wf")
+                .with_tenant("t"),
+        )
+    }
+
+    fn plane() -> RoadrunnerPlane {
+        RoadrunnerPlane::new(
+            Arc::new(Testbed::paper()),
+            ShimConfig::default().with_load_costs(false),
+        )
+    }
+
+    #[test]
+    fn mode_selection_follows_placement() {
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        p.deploy_into_shared_vm("a", "a2", bundle("a2", guest::consumer()), "consume", true)
+            .unwrap();
+        p.deploy(0, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+        p.deploy(1, "c", bundle("c", guest::consumer()), "consume", true).unwrap();
+        assert_eq!(p.mode_of("a", "a2").unwrap(), Mode::UserSpace);
+        assert_eq!(p.mode_of("a", "b").unwrap(), Mode::KernelSpace);
+        assert_eq!(p.mode_of("a", "c").unwrap(), Mode::Network);
+        assert!(p.mode_of("a", "ghost").is_err());
+    }
+
+    #[test]
+    fn user_space_edge_end_to_end() {
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        p.deploy_into_shared_vm("a", "b", bundle("b", guest::consumer()), "consume", true)
+            .unwrap();
+        let payload = Bytes::from(vec![0xC3u8; 65_000]);
+        let received = p.transfer_edge("a", "b", &payload).unwrap();
+        assert_eq!(&received[..], &payload[..]);
+        let bd = p.last_breakdown().unwrap();
+        assert_eq!(bd.mode, Mode::UserSpace);
+        assert!(bd.transfer_ns > 0);
+    }
+
+    #[test]
+    fn kernel_space_edge_end_to_end() {
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        p.deploy(0, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+        let payload = Bytes::from((0..200_000u32).map(|i| (i % 256) as u8).collect::<Vec<_>>());
+        let received = p.transfer_edge("a", "b", &payload).unwrap();
+        assert_eq!(&received[..], &payload[..]);
+        assert_eq!(p.last_breakdown().unwrap().mode, Mode::KernelSpace);
+    }
+
+    #[test]
+    fn network_edge_end_to_end() {
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        p.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+        let payload = Bytes::from(vec![0x77u8; 300_000]);
+        let received = p.transfer_edge("a", "b", &payload).unwrap();
+        assert_eq!(&received[..], &payload[..]);
+        let bd = p.last_breakdown().unwrap();
+        assert_eq!(bd.mode, Mode::Network);
+        // Wire time must appear in the transfer phase.
+        assert!(bd.transfer_ns >= p.testbed.wan().wire_ns(300_000));
+    }
+
+    #[test]
+    fn untrusted_colocation_is_refused() {
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        let foreign = Arc::new(
+            FunctionBundle::wasm("x", encode::encode(&guest::consumer()))
+                .with_workflow("other")
+                .with_tenant("t"),
+        );
+        assert!(matches!(
+            p.deploy_into_shared_vm("a", "x", foreign, "consume", true),
+            Err(RoadrunnerError::TrustViolation(_))
+        ));
+    }
+
+    #[test]
+    fn chain_through_relay() {
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        p.deploy(0, "r", bundle("r", guest::relay()), "relay", false).unwrap();
+        p.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+        let payload = Bytes::from(vec![0x11u8; 50_000]);
+        let mid = p.transfer_edge("a", "r", &payload).unwrap();
+        assert_eq!(&mid[..], &payload[..]);
+        // The relay re-sent: its outbox is pending, so the next edge
+        // skips preparation and forwards the same bytes.
+        let out = p.transfer_edge("r", "b", &mid).unwrap();
+        assert_eq!(&out[..], &payload[..]);
+        assert_eq!(p.last_breakdown().unwrap().mode, Mode::Network);
+    }
+
+    #[test]
+    fn workflow_engine_runs_over_the_plane() {
+        use roadrunner_platform::{execute, WorkflowSpec};
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        p.deploy(0, "r", bundle("r", guest::relay()), "relay", false).unwrap();
+        p.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+        let clock = p.testbed.clock().clone();
+        let spec = WorkflowSpec::sequence(
+            "wf",
+            "t",
+            ["a".to_owned(), "r".to_owned(), "b".to_owned()],
+        );
+        let payload = Bytes::from(vec![9u8; 10_000]);
+        let run = execute(&mut p, &clock, &spec, payload.clone()).unwrap();
+        assert_eq!(run.edges.len(), 2);
+        assert!(run.edges.iter().all(|e| &e.received[..] == &payload[..]));
+        assert!(run.total_latency_ns > 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! User-space data transfer (paper §4.1, Fig. 4a).
+//!
+//! Both functions live as modules inside **one** Wasm VM managed by one
+//! shim, so the transfer never leaves the process: the shim reads the
+//! source's registered region and writes it into the target's freshly
+//! allocated region. No syscalls, no context switches, no serialization —
+//! only the two Wasm VM I/O passes.
+
+use bytes::Bytes;
+
+use crate::error::RoadrunnerError;
+use crate::region::MemoryRegion;
+use crate::shim::Shim;
+
+/// Moves the source module's pending outbox into the target module.
+///
+/// Steps (numbering from Fig. 4a): the guest already did ①
+/// `locate_memory_region` + `send_to_host`; this performs ② the shim read,
+/// ③ `allocate_memory` in the target, ④/⑤ the write into the target.
+/// Returns the target region and the transferred bytes.
+///
+/// # Errors
+///
+/// [`RoadrunnerError::Config`] if the source has no pending outbox, plus
+/// any shim access/trap error.
+pub fn transfer(
+    shim: &mut Shim,
+    from: &str,
+    to: &str,
+) -> Result<(MemoryRegion, Bytes), RoadrunnerError> {
+    let region = shim.take_outbox(from)?.ok_or_else(|| {
+        RoadrunnerError::Config(format!("module `{from}` has no pending outbox"))
+    })?;
+    let data = shim.read_memory_host(from, region)?;
+    let target = shim.write_memory_host(to, &data)?;
+    shim.deallocate(from, region)?;
+    Ok((target, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShimConfig;
+    use crate::guest;
+    use roadrunner_platform::FunctionBundle;
+    use roadrunner_vkernel::Testbed;
+    use roadrunner_wasm::encode;
+    use roadrunner_wasm::types::Value;
+    use std::sync::Arc;
+
+    fn bundle(name: &str, module: roadrunner_wasm::Module) -> Arc<FunctionBundle> {
+        Arc::new(
+            FunctionBundle::wasm(name, encode::encode(&module))
+                .with_workflow("wf")
+                .with_tenant("t"),
+        )
+    }
+
+    fn shared_vm_shim(bed: &Testbed) -> Shim {
+        let mut shim =
+            Shim::new("vm", bed.node(0), ShimConfig::default().with_load_costs(false));
+        shim.load_module("a", bundle("a", guest::producer())).unwrap();
+        shim.load_module("b", bundle("b", guest::consumer())).unwrap();
+        shim
+    }
+
+    #[test]
+    fn transfers_bytes_between_modules() {
+        let bed = Testbed::paper();
+        let mut shim = shared_vm_shim(&bed);
+        let payload = vec![0x5Au8; 100_000];
+        let src = shim.write_memory_host("a", &payload).unwrap();
+        shim.invoke("a", "produce", &[Value::I32(src.addr as i32), Value::I32(src.len as i32)])
+            .unwrap();
+        let (target, moved) = transfer(&mut shim, "a", "b").unwrap();
+        assert_eq!(&moved[..], &payload[..]);
+        assert_eq!(&shim.peek_memory("b", target).unwrap()[..], &payload[..]);
+    }
+
+    #[test]
+    fn transfer_without_outbox_fails() {
+        let bed = Testbed::paper();
+        let mut shim = shared_vm_shim(&bed);
+        assert!(matches!(
+            transfer(&mut shim, "a", "b"),
+            Err(RoadrunnerError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn no_kernel_time_is_spent() {
+        let bed = Testbed::paper();
+        let mut shim = shared_vm_shim(&bed);
+        let payload = vec![1u8; 1 << 20];
+        let src = shim.write_memory_host("a", &payload).unwrap();
+        shim.invoke("a", "produce", &[Value::I32(src.addr as i32), Value::I32(src.len as i32)])
+            .unwrap();
+        let kernel_before = shim.sandbox().account().kernel_ns();
+        transfer(&mut shim, "a", "b").unwrap();
+        assert_eq!(
+            shim.sandbox().account().kernel_ns(),
+            kernel_before,
+            "user-space mode must not enter the kernel"
+        );
+    }
+
+    #[test]
+    fn source_region_is_released_after_transfer() {
+        let bed = Testbed::paper();
+        let mut shim = shared_vm_shim(&bed);
+        let src = shim.write_memory_host("a", &[9u8; 64]).unwrap();
+        shim.invoke("a", "produce", &[Value::I32(src.addr as i32), Value::I32(src.len as i32)])
+            .unwrap();
+        transfer(&mut shim, "a", "b").unwrap();
+        assert!(matches!(
+            shim.peek_memory("a", src),
+            Err(RoadrunnerError::AccessViolation(_))
+        ));
+    }
+}

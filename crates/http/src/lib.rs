@@ -1,0 +1,31 @@
+//! Minimal HTTP/1.1 over virtual-kernel streams.
+//!
+//! "Serverless functions typically exchange data via network protocols
+//! such as HTTP" (paper §1) — this crate is that protocol layer for the
+//! reproduction's baselines: message framing with content-length and
+//! chunked bodies, an incremental parser, and client/server exchange
+//! helpers over the virtual kernel's TCP and Unix streams.
+//!
+//! Costs modelled: building/parsing a message head
+//! ([`roadrunner_vkernel::CostModel::http_head_ns`]) and the copy that
+//! assembles head + body into one send buffer. The per-chunk socket
+//! costs come from the underlying stream.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use roadrunner_http::{Request, MessageReader};
+//!
+//! let raw = Request::post("/invoke", Bytes::from_static(b"payload")).to_bytes();
+//! let mut reader = MessageReader::new();
+//! reader.feed(&raw);
+//! let parsed = reader.try_request().unwrap().unwrap();
+//! assert_eq!(parsed.path, "/invoke");
+//! ```
+
+pub mod exchange;
+pub mod message;
+pub mod parse;
+
+pub use exchange::{post, read_request, read_response, send_request, send_response, Stream};
+pub use message::{Request, Response};
+pub use parse::{HttpError, MessageReader};

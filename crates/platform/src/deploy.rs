@@ -1,0 +1,130 @@
+//! Deployments: bundles bound to placements.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::bundle::FunctionBundle;
+use crate::error::PlatformError;
+use crate::registry::FunctionRegistry;
+use crate::scheduler::{Placement, Scheduler};
+
+/// A function instance bound to a node.
+#[derive(Debug, Clone)]
+pub struct DeployedFunction {
+    /// The deployed artifact.
+    pub bundle: Arc<FunctionBundle>,
+    /// Where the scheduler put it.
+    pub placement: Placement,
+}
+
+/// The set of live function instances in a cluster.
+#[derive(Debug, Default)]
+pub struct Deployment {
+    functions: HashMap<String, DeployedFunction>,
+    node_count: usize,
+}
+
+impl Deployment {
+    /// Creates an empty deployment over `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        Self { functions: HashMap::new(), node_count }
+    }
+
+    /// Deploys `name` from the registry using `scheduler` for placement.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownFunction`] if the registry has no bundle
+    /// by that name.
+    pub fn deploy(
+        &mut self,
+        registry: &FunctionRegistry,
+        scheduler: &dyn Scheduler,
+        name: &str,
+    ) -> Result<&DeployedFunction, PlatformError> {
+        let bundle = registry
+            .get(name)
+            .ok_or_else(|| PlatformError::UnknownFunction(name.to_owned()))?;
+        let placement = scheduler.place(name, self.node_count);
+        self.functions
+            .insert(name.to_owned(), DeployedFunction { bundle, placement });
+        Ok(self.functions.get(name).expect("just inserted"))
+    }
+
+    /// The instance of `name`, if deployed.
+    pub fn get(&self, name: &str) -> Option<&DeployedFunction> {
+        self.functions.get(name)
+    }
+
+    /// Placement of `name`, if deployed.
+    pub fn placement_of(&self, name: &str) -> Option<Placement> {
+        self.functions.get(name).map(|f| f.placement)
+    }
+
+    /// Whether both functions are deployed on the same node — the
+    /// condition for Roadrunner's intra-node modes.
+    pub fn colocated(&self, a: &str, b: &str) -> bool {
+        match (self.placement_of(a), self.placement_of(b)) {
+            (Some(pa), Some(pb)) => pa.node == pb.node,
+            _ => false,
+        }
+    }
+
+    /// Number of deployed functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether nothing is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Pinned;
+
+    fn registry() -> FunctionRegistry {
+        let reg = FunctionRegistry::new();
+        reg.register(FunctionBundle::wasm("a", vec![0]));
+        reg.register(FunctionBundle::wasm("b", vec![0]));
+        reg.register(FunctionBundle::wasm("c", vec![0]));
+        reg
+    }
+
+    #[test]
+    fn deploy_places_functions() {
+        let reg = registry();
+        let sched = Pinned::new(0).pin("b", 1);
+        let mut dep = Deployment::new(2);
+        dep.deploy(&reg, &sched, "a").unwrap();
+        dep.deploy(&reg, &sched, "b").unwrap();
+        assert_eq!(dep.placement_of("a").unwrap().node, 0);
+        assert_eq!(dep.placement_of("b").unwrap().node, 1);
+        assert_eq!(dep.len(), 2);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let reg = registry();
+        let sched = Pinned::new(0);
+        let mut dep = Deployment::new(2);
+        let err = dep.deploy(&reg, &sched, "missing").unwrap_err();
+        assert!(matches!(err, PlatformError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn colocation_detection() {
+        let reg = registry();
+        let sched = Pinned::new(0).pin("c", 1);
+        let mut dep = Deployment::new(2);
+        dep.deploy(&reg, &sched, "a").unwrap();
+        dep.deploy(&reg, &sched, "b").unwrap();
+        dep.deploy(&reg, &sched, "c").unwrap();
+        assert!(dep.colocated("a", "b"));
+        assert!(!dep.colocated("a", "c"));
+        assert!(!dep.colocated("a", "missing"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Serverless platform substrate for the Roadrunner reproduction.
+//!
+//! Roadrunner is "a sidecar shim that lives alongside serverless
+//! functions, allowing the container orchestration tool to manage
+//! scalability" (paper §3.2.4). This crate is that surrounding platform:
+//!
+//! * [`bundle`] — OCI-style function bundles (real Wasm binaries or
+//!   container-image descriptors) with workflow/tenant annotations.
+//! * [`registry`] — the control plane's catalog of bundles.
+//! * [`scheduler`] — placement strategies; Roadrunner adapts to whatever
+//!   they decide.
+//! * [`deploy`] — live instances bound to nodes, with co-location
+//!   queries.
+//! * [`workflow`] — the invocation patterns of the evaluation (sequence,
+//!   fan-out, fan-in) executed over a pluggable [`workflow::DataPlane`].
+//! * [`metrics`] — sample collection and summaries for the harness.
+//!
+//! ```
+//! use roadrunner_platform::bundle::FunctionBundle;
+//! use roadrunner_platform::deploy::Deployment;
+//! use roadrunner_platform::registry::FunctionRegistry;
+//! use roadrunner_platform::scheduler::Pinned;
+//!
+//! # fn main() -> Result<(), roadrunner_platform::PlatformError> {
+//! let registry = FunctionRegistry::new();
+//! registry.register(FunctionBundle::wasm("fn-a", vec![0, 97, 115, 109]));
+//! registry.register(FunctionBundle::wasm("fn-b", vec![0, 97, 115, 109]));
+//!
+//! let scheduler = Pinned::new(0).pin("fn-b", 1);
+//! let mut deployment = Deployment::new(2);
+//! deployment.deploy(&registry, &scheduler, "fn-a")?;
+//! deployment.deploy(&registry, &scheduler, "fn-b")?;
+//! assert!(!deployment.colocated("fn-a", "fn-b"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bundle;
+pub mod deploy;
+pub mod error;
+pub mod metrics;
+pub mod registry;
+pub mod scheduler;
+pub mod workflow;
+
+pub use bundle::{BundleKind, FunctionBundle, Manifest};
+pub use deploy::{DeployedFunction, Deployment};
+pub use error::PlatformError;
+pub use metrics::{MetricsCollector, Sample, Summary};
+pub use registry::FunctionRegistry;
+pub use scheduler::{Pinned, Placement, RoundRobin, Scheduler};
+pub use workflow::{execute, DataPlane, EdgeResult, Pattern, WorkflowRun, WorkflowSpec};

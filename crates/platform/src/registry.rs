@@ -1,0 +1,84 @@
+//! Function registry: the platform's catalog of deployable bundles.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::bundle::FunctionBundle;
+
+/// Thread-safe registry mapping function names to bundles, as a serverless
+/// control plane keeps them after `deploy`/`push`.
+#[derive(Debug, Default)]
+pub struct FunctionRegistry {
+    entries: RwLock<HashMap<String, Arc<FunctionBundle>>>,
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a bundle under its own name. Returns the
+    /// previous bundle if one was replaced.
+    pub fn register(&self, bundle: FunctionBundle) -> Option<Arc<FunctionBundle>> {
+        let name = bundle.name().to_owned();
+        self.entries.write().insert(name, Arc::new(bundle))
+    }
+
+    /// Looks up a bundle by name.
+    pub fn get(&self, name: &str) -> Option<Arc<FunctionBundle>> {
+        self.entries.read().get(name).cloned()
+    }
+
+    /// Removes a bundle; returns it if it existed.
+    pub fn remove(&self, name: &str) -> Option<Arc<FunctionBundle>> {
+        self.entries.write().remove(name)
+    }
+
+    /// Sorted list of registered function names.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_get_remove() {
+        let reg = FunctionRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(FunctionBundle::wasm("a", vec![1]));
+        reg.register(FunctionBundle::wasm("b", vec![2]));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("a").unwrap().size_bytes(), 1);
+        assert!(reg.get("zzz").is_none());
+        assert!(reg.remove("a").is_some());
+        assert!(reg.remove("a").is_none());
+        assert_eq!(reg.names(), vec!["b"]);
+    }
+
+    #[test]
+    fn register_replaces_and_returns_old() {
+        let reg = FunctionRegistry::new();
+        assert!(reg.register(FunctionBundle::wasm("f", vec![0; 10])).is_none());
+        let old = reg.register(FunctionBundle::wasm("f", vec![0; 20])).unwrap();
+        assert_eq!(old.size_bytes(), 10);
+        assert_eq!(reg.get("f").unwrap().size_bytes(), 20);
+    }
+}

@@ -1,0 +1,105 @@
+//! Function placement.
+//!
+//! Roadrunner explicitly does *not* control placement: it "optimizes
+//! communication regardless of the scheduler's decisions" (paper §2.2).
+//! The schedulers here stand in for the orchestrator: they assign
+//! functions to nodes; the communication layer then derives the best
+//! transfer mode from wherever functions landed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A placement decision: which node a function instance runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Index of the node in the testbed.
+    pub node: usize,
+}
+
+/// Strategy assigning functions to nodes.
+pub trait Scheduler: Send + Sync {
+    /// Chooses a node for `function` in a cluster of `node_count` nodes.
+    fn place(&self, function: &str, node_count: usize) -> Placement;
+}
+
+/// Spreads placements across nodes in arrival order.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: AtomicUsize,
+}
+
+impl RoundRobin {
+    /// Creates a scheduler starting at node 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn place(&self, _function: &str, node_count: usize) -> Placement {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        Placement { node: idx % node_count.max(1) }
+    }
+}
+
+/// Explicit placements with a default node for unlisted functions —
+/// what the experiments use to pin function `a` to the edge node and
+/// function `b` to the cloud node.
+#[derive(Debug, Default)]
+pub struct Pinned {
+    map: HashMap<String, usize>,
+    default: usize,
+}
+
+impl Pinned {
+    /// Creates a pinned scheduler defaulting to node `default`.
+    pub fn new(default: usize) -> Self {
+        Self { map: HashMap::new(), default }
+    }
+
+    /// Pins `function` to `node` (chainable).
+    pub fn pin(mut self, function: impl Into<String>, node: usize) -> Self {
+        self.map.insert(function.into(), node);
+        self
+    }
+}
+
+impl Scheduler for Pinned {
+    fn place(&self, function: &str, node_count: usize) -> Placement {
+        let node = self.map.get(function).copied().unwrap_or(self.default);
+        Placement { node: node.min(node_count.saturating_sub(1)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let s = RoundRobin::new();
+        assert_eq!(s.place("a", 2).node, 0);
+        assert_eq!(s.place("b", 2).node, 1);
+        assert_eq!(s.place("c", 2).node, 0);
+    }
+
+    #[test]
+    fn round_robin_survives_single_node() {
+        let s = RoundRobin::new();
+        assert_eq!(s.place("a", 1).node, 0);
+        assert_eq!(s.place("b", 0).node, 0);
+    }
+
+    #[test]
+    fn pinned_uses_map_then_default() {
+        let s = Pinned::new(1).pin("a", 0);
+        assert_eq!(s.place("a", 2).node, 0);
+        assert_eq!(s.place("other", 2).node, 1);
+    }
+
+    #[test]
+    fn pinned_clamps_to_cluster_size() {
+        let s = Pinned::new(0).pin("a", 9);
+        assert_eq!(s.place("a", 2).node, 1);
+    }
+}

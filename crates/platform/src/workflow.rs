@@ -1,0 +1,358 @@
+//! Workflow specifications and the execution engine.
+//!
+//! The paper evaluates the "most common invocation patterns" —
+//! sequential chains, fan-out and fan-in (§6.1, citing the Berkeley
+//! view). A [`WorkflowSpec`] names the pattern; [`execute`] drives the
+//! transfers through whatever [`DataPlane`] the embedder provides
+//! (Roadrunner's shim modes, or a baseline's HTTP path), recording
+//! per-edge latency from the shared virtual clock.
+
+use bytes::Bytes;
+use roadrunner_vkernel::{Nanos, VirtualClock};
+
+use crate::error::PlatformError;
+
+/// Invocation pattern of a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// `f1 → f2 → … → fn`: each function's output feeds the next.
+    Sequence(Vec<String>),
+    /// One source delivers the same payload to every target.
+    Fanout {
+        /// Producing function.
+        source: String,
+        /// Consuming functions.
+        targets: Vec<String>,
+    },
+    /// Every source delivers its payload to one target.
+    FanIn {
+        /// Producing functions.
+        sources: Vec<String>,
+        /// Consuming function.
+        target: String,
+    },
+}
+
+/// A named, tenant-scoped workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkflowSpec {
+    /// Workflow name (used in bundle annotations).
+    pub name: String,
+    /// Owning tenant (Roadrunner's trust boundary).
+    pub tenant: String,
+    /// The invocation pattern.
+    pub pattern: Pattern,
+}
+
+impl WorkflowSpec {
+    /// Creates a sequential chain.
+    pub fn sequence(
+        name: impl Into<String>,
+        tenant: impl Into<String>,
+        functions: impl IntoIterator<Item = String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            tenant: tenant.into(),
+            pattern: Pattern::Sequence(functions.into_iter().collect()),
+        }
+    }
+
+    /// Creates a fan-out.
+    pub fn fanout(
+        name: impl Into<String>,
+        tenant: impl Into<String>,
+        source: impl Into<String>,
+        targets: impl IntoIterator<Item = String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            tenant: tenant.into(),
+            pattern: Pattern::Fanout {
+                source: source.into(),
+                targets: targets.into_iter().collect(),
+            },
+        }
+    }
+
+    /// All functions referenced by the pattern, in order, without
+    /// duplicates.
+    pub fn functions(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        let mut names: Vec<&str> = Vec::new();
+        match &self.pattern {
+            Pattern::Sequence(fs) => names.extend(fs.iter().map(String::as_str)),
+            Pattern::Fanout { source, targets } => {
+                names.push(source);
+                names.extend(targets.iter().map(String::as_str));
+            }
+            Pattern::FanIn { sources, target } => {
+                names.extend(sources.iter().map(String::as_str));
+                names.push(target);
+            }
+        }
+        for n in names {
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    /// Checks structural validity (enough functions for the pattern).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::InvalidWorkflow`] describing the problem.
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        match &self.pattern {
+            Pattern::Sequence(fs) if fs.len() < 2 => Err(PlatformError::InvalidWorkflow(
+                "a sequence needs at least two functions".into(),
+            )),
+            Pattern::Fanout { targets, .. } if targets.is_empty() => Err(
+                PlatformError::InvalidWorkflow("a fan-out needs at least one target".into()),
+            ),
+            Pattern::FanIn { sources, .. } if sources.is_empty() => Err(
+                PlatformError::InvalidWorkflow("a fan-in needs at least one source".into()),
+            ),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The transport a workflow runs over: Roadrunner's shim modes or a
+/// baseline's HTTP path. `transfer` moves `payload` from `from` to `to`
+/// and returns the bytes as the target function received them.
+pub trait DataPlane {
+    /// Delivers `payload` from function `from` to function `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Transfer`] (or any other variant) when delivery
+    /// fails.
+    fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError>;
+}
+
+/// Timing and integrity record for one workflow edge.
+#[derive(Debug, Clone)]
+pub struct EdgeResult {
+    /// Sending function.
+    pub from: String,
+    /// Receiving function.
+    pub to: String,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Virtual time the transfer took.
+    pub latency_ns: Nanos,
+    /// The payload as received (reference-counted; cheap to hold).
+    pub received: Bytes,
+}
+
+impl EdgeResult {
+    /// FNV-1a checksum of the received payload, for integrity assertions.
+    pub fn checksum(&self) -> u64 {
+        fnv1a(&self.received)
+    }
+}
+
+/// Result of a workflow execution.
+#[derive(Debug, Clone)]
+pub struct WorkflowRun {
+    /// Per-edge results in execution order.
+    pub edges: Vec<EdgeResult>,
+    /// Virtual time from first send to last receive.
+    pub total_latency_ns: Nanos,
+}
+
+impl WorkflowRun {
+    /// Sum of payload bytes moved across all edges.
+    pub fn total_bytes(&self) -> usize {
+        self.edges.iter().map(|e| e.bytes).sum()
+    }
+}
+
+/// Executes `spec` over `plane`, timing each edge on `clock`.
+///
+/// Fan-out/fan-in branches are executed one after another in virtual
+/// time; contended-parallel timing for the scalability figures comes from
+/// [`roadrunner_vkernel::pipeline::run_fanout`], which models core and
+/// link sharing analytically.
+///
+/// # Errors
+///
+/// Propagates validation and transfer errors.
+pub fn execute(
+    plane: &mut dyn DataPlane,
+    clock: &VirtualClock,
+    spec: &WorkflowSpec,
+    payload: Bytes,
+) -> Result<WorkflowRun, PlatformError> {
+    spec.validate()?;
+    let started = clock.now();
+    let mut edges = Vec::new();
+    match &spec.pattern {
+        Pattern::Sequence(fs) => {
+            let mut current = payload;
+            for pair in fs.windows(2) {
+                let (from, to) = (&pair[0], &pair[1]);
+                let t0 = clock.now();
+                let received = plane.transfer(from, to, current.clone())?;
+                edges.push(EdgeResult {
+                    from: from.clone(),
+                    to: to.clone(),
+                    bytes: current.len(),
+                    latency_ns: clock.now() - t0,
+                    received: received.clone(),
+                });
+                current = received;
+            }
+        }
+        Pattern::Fanout { source, targets } => {
+            for target in targets {
+                let t0 = clock.now();
+                let received = plane.transfer(source, target, payload.clone())?;
+                edges.push(EdgeResult {
+                    from: source.clone(),
+                    to: target.clone(),
+                    bytes: payload.len(),
+                    latency_ns: clock.now() - t0,
+                    received,
+                });
+            }
+        }
+        Pattern::FanIn { sources, target } => {
+            for source in sources {
+                let t0 = clock.now();
+                let received = plane.transfer(source, target, payload.clone())?;
+                edges.push(EdgeResult {
+                    from: source.clone(),
+                    to: target.clone(),
+                    bytes: payload.len(),
+                    latency_ns: clock.now() - t0,
+                    received,
+                });
+            }
+        }
+    }
+    Ok(WorkflowRun { edges, total_latency_ns: clock.now() - started })
+}
+
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A plane that passes payloads through unchanged, charging 1 µs per
+    /// edge plus 1 ns per byte.
+    struct PassThrough {
+        clock: VirtualClock,
+    }
+
+    impl DataPlane for PassThrough {
+        fn transfer(
+            &mut self,
+            _from: &str,
+            _to: &str,
+            payload: Bytes,
+        ) -> Result<Bytes, PlatformError> {
+            self.clock.advance(1_000 + payload.len() as u64);
+            Ok(payload)
+        }
+    }
+
+    #[test]
+    fn sequence_chains_payloads() {
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let spec = WorkflowSpec::sequence(
+            "wf",
+            "acme",
+            ["a".to_owned(), "b".to_owned(), "c".to_owned()],
+        );
+        let run = execute(&mut plane, &clock, &spec, Bytes::from(vec![7u8; 100])).unwrap();
+        assert_eq!(run.edges.len(), 2);
+        assert_eq!(run.edges[0].from, "a");
+        assert_eq!(run.edges[1].to, "c");
+        assert_eq!(run.total_bytes(), 200);
+        assert_eq!(run.total_latency_ns, 2 * (1_000 + 100));
+        assert_eq!(run.edges[0].checksum(), run.edges[1].checksum());
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_target() {
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let targets: Vec<String> = (0..5).map(|i| format!("t{i}")).collect();
+        let spec = WorkflowSpec::fanout("wf", "acme", "src", targets);
+        let run = execute(&mut plane, &clock, &spec, Bytes::from_static(b"xy")).unwrap();
+        assert_eq!(run.edges.len(), 5);
+        assert!(run.edges.iter().all(|e| e.from == "src" && &e.received[..] == b"xy"));
+    }
+
+    #[test]
+    fn fanin_collects_from_every_source() {
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let spec = WorkflowSpec {
+            name: "wf".into(),
+            tenant: "acme".into(),
+            pattern: Pattern::FanIn {
+                sources: vec!["s1".into(), "s2".into()],
+                target: "sink".into(),
+            },
+        };
+        let run = execute(&mut plane, &clock, &spec, Bytes::from_static(b"z")).unwrap();
+        assert_eq!(run.edges.len(), 2);
+        assert!(run.edges.iter().all(|e| e.to == "sink"));
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let spec = WorkflowSpec::sequence("wf", "t", ["only".to_owned()]);
+        assert!(matches!(
+            execute(&mut plane, &clock, &spec, Bytes::new()),
+            Err(PlatformError::InvalidWorkflow(_))
+        ));
+        let spec = WorkflowSpec::fanout("wf", "t", "src", Vec::<String>::new());
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn functions_lists_unique_names_in_order() {
+        let spec = WorkflowSpec::sequence(
+            "wf",
+            "t",
+            ["a".to_owned(), "b".to_owned(), "a".to_owned()],
+        );
+        assert_eq!(spec.functions(), vec!["a", "b"]);
+        let spec = WorkflowSpec::fanout("wf", "t", "s", vec!["x".to_owned(), "y".to_owned()]);
+        assert_eq!(spec.functions(), vec!["s", "x", "y"]);
+    }
+
+    #[test]
+    fn transfer_errors_propagate() {
+        struct Failing;
+        impl DataPlane for Failing {
+            fn transfer(&mut self, _: &str, _: &str, _: Bytes) -> Result<Bytes, PlatformError> {
+                Err(PlatformError::Transfer("link down".into()))
+            }
+        }
+        let clock = VirtualClock::new();
+        let spec =
+            WorkflowSpec::sequence("wf", "t", ["a".to_owned(), "b".to_owned()]);
+        assert!(matches!(
+            execute(&mut Failing, &clock, &spec, Bytes::new()),
+            Err(PlatformError::Transfer(_))
+        ));
+    }
+}

@@ -1,0 +1,66 @@
+//! Decode error type shared by the text and binary codecs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when decoding a serialized document fails.
+///
+/// Carries the byte offset at which the problem was detected and a
+/// human-readable reason, so harness output can point at the exact
+/// position of a corrupt payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    offset: usize,
+    reason: String,
+}
+
+impl DecodeError {
+    /// Creates a decode error at `offset` with the given `reason`.
+    pub fn new(offset: usize, reason: impl Into<String>) -> Self {
+        Self { offset, reason: reason.into() }
+    }
+
+    /// Byte offset in the input at which decoding failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Human-readable description of the failure.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_reason() {
+        let err = DecodeError::new(42, "unexpected token");
+        let text = err.to_string();
+        assert!(text.contains("42"));
+        assert!(text.contains("unexpected token"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = DecodeError::new(7, "bad escape");
+        assert_eq!(err.offset(), 7);
+        assert_eq!(err.reason(), "bad escape");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DecodeError>();
+    }
+}

@@ -1,0 +1,156 @@
+//! Zero-copy raw views — the serialization-free representation.
+//!
+//! Roadrunner never converts data to an interchange format: it locates the
+//! flat in-memory representation inside the source function's linear memory
+//! (`locate_memory_region`) and ships those bytes untouched. [`RawView`]
+//! models that representation on the host side: a cheaply cloneable,
+//! sliceable window over [`Bytes`] with an integrity checksum used by the
+//! test suite to prove end-to-end fidelity of every transfer mode.
+
+use bytes::Bytes;
+
+/// A zero-copy window over a flat byte region.
+///
+/// Cloning and slicing a `RawView` never copies payload bytes — exactly the
+/// property Roadrunner's virtual data hose relies on. The underlying
+/// storage is reference-counted [`Bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawView {
+    data: Bytes,
+}
+
+impl RawView {
+    /// Wraps an existing byte buffer without copying.
+    pub fn new(data: Bytes) -> Self {
+        Self { data }
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self { data: Bytes::from_static(data) }
+    }
+
+    /// Length of the viewed region in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the viewed region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the region as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Borrow the underlying shared buffer.
+    pub fn bytes(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Extracts the underlying shared buffer.
+    pub fn into_bytes(self) -> Bytes {
+        self.data
+    }
+
+    /// Returns a zero-copy sub-view of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds, matching [`Bytes::slice`].
+    pub fn slice(&self, range: std::ops::Range<usize>) -> RawView {
+        RawView { data: self.data.slice(range) }
+    }
+
+    /// FNV-1a checksum of the region.
+    ///
+    /// Every integration test that pushes a payload through a transfer mode
+    /// asserts the checksum is preserved, so "zero-copy" can never silently
+    /// mean "zero data".
+    pub fn checksum(&self) -> u64 {
+        fnv1a(&self.data)
+    }
+}
+
+impl From<Vec<u8>> for RawView {
+    fn from(v: Vec<u8>) -> Self {
+        RawView::new(Bytes::from(v))
+    }
+}
+
+impl From<Bytes> for RawView {
+    fn from(b: Bytes) -> Self {
+        RawView::new(b)
+    }
+}
+
+impl AsRef<[u8]> for RawView {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// FNV-1a hash over a byte slice, used for payload integrity checks.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slicing_shares_storage() {
+        let view = RawView::from(vec![1u8, 2, 3, 4, 5]);
+        let sub = view.slice(1..4);
+        assert_eq!(sub.as_slice(), &[2, 3, 4]);
+        // Same backing allocation: the sub-view's pointer lives inside the
+        // parent's range.
+        let parent_range = view.as_slice().as_ptr() as usize
+            ..view.as_slice().as_ptr() as usize + view.len();
+        assert!(parent_range.contains(&(sub.as_slice().as_ptr() as usize)));
+    }
+
+    #[test]
+    fn clone_does_not_copy() {
+        let view = RawView::from(vec![7u8; 1024]);
+        let clone = view.clone();
+        assert_eq!(view.as_slice().as_ptr(), clone.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let a = RawView::from(vec![0u8; 64]);
+        let mut corrupted = a.as_slice().to_vec();
+        corrupted[10] ^= 0x01;
+        let b = RawView::from(corrupted);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        let view = RawView::from_static(b"roadrunner");
+        assert_eq!(view.checksum(), view.clone().checksum());
+    }
+
+    #[test]
+    fn empty_view() {
+        let view = RawView::from(Vec::new());
+        assert!(view.is_empty());
+        assert_eq!(view.len(), 0);
+        assert_eq!(view.checksum(), fnv1a(b""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_slice_panics() {
+        RawView::from(vec![1u8, 2]).slice(0..3);
+    }
+}

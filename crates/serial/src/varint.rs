@@ -1,0 +1,143 @@
+//! Unsigned LEB128-style variable-length integers for the binary codec.
+//!
+//! The binary codec frames every length with a varint so small payloads
+//! stay compact while multi-hundred-megabyte blobs still fit. The encoding
+//! is identical to unsigned LEB128 (7 value bits per byte, high bit is the
+//! continuation flag).
+
+use crate::DecodeError;
+
+/// Maximum number of bytes a `u64` varint can occupy.
+pub const MAX_LEN: usize = 10;
+
+/// Appends the varint encoding of `value` to `out`.
+///
+/// ```
+/// # use roadrunner_serial::varint;
+/// let mut buf = Vec::new();
+/// varint::write_u64(&mut buf, 300);
+/// assert_eq!(buf, vec![0xAC, 0x02]);
+/// ```
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint from `input` starting at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the input ends mid-varint or the encoding
+/// exceeds [`MAX_LEN`] bytes (overlong / overflowing).
+pub fn read_u64(input: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    let start = *pos;
+    loop {
+        let byte = *input
+            .get(*pos)
+            .ok_or_else(|| DecodeError::new(*pos, "unexpected end of input in varint"))?;
+        *pos += 1;
+        if shift >= 63 && byte > 1 {
+            return Err(DecodeError::new(start, "varint overflows u64"));
+        }
+        result |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if *pos - start >= MAX_LEN {
+            return Err(DecodeError::new(start, "varint longer than 10 bytes"));
+        }
+    }
+}
+
+/// Number of bytes `value` occupies when varint-encoded.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    (64 - value.leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_single_byte() {
+        for v in [0u64, 1, 63, 127] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1, "value {v}");
+        }
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for v in [0u64, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+            assert_eq!(encoded_len(v), buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let buf = vec![0x80u8, 0x80];
+        let mut pos = 0;
+        let err = read_u64(&buf, &mut pos).unwrap_err();
+        assert!(err.reason().contains("end of input"));
+    }
+
+    #[test]
+    fn overlong_encoding_errors() {
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // 10 bytes with a final byte carrying bits beyond u64.
+        let buf = vec![0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_u64(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            prop_assert_eq!(buf.len(), encoded_len(v));
+            let mut pos = 0;
+            prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn concatenated_varints_decode_in_sequence(vs in proptest::collection::vec(any::<u64>(), 0..20)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                write_u64(&mut buf, v);
+            }
+            let mut pos = 0;
+            for &v in &vs {
+                prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for virtual-kernel operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by virtual-kernel objects (pipes, sockets, links).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VkError {
+    /// The peer end of a pipe or socket has been closed.
+    Closed,
+    /// An operation would exceed a configured capacity (e.g. gifting more
+    /// pages than a pipe can hold in one call).
+    Capacity {
+        /// Bytes requested by the operation.
+        requested: usize,
+        /// Bytes the object can accept.
+        available: usize,
+    },
+    /// No route/link exists between the requested nodes.
+    NoRoute {
+        /// Source node name.
+        from: String,
+        /// Destination node name.
+        to: String,
+    },
+    /// The caller passed an argument the kernel object cannot honour.
+    InvalidArg(String),
+}
+
+impl fmt::Display for VkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VkError::Closed => write!(f, "peer endpoint is closed"),
+            VkError::Capacity { requested, available } => {
+                write!(f, "capacity exceeded: requested {requested} bytes, available {available}")
+            }
+            VkError::NoRoute { from, to } => {
+                write!(f, "no link between nodes `{from}` and `{to}`")
+            }
+            VkError::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for VkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(VkError::Closed.to_string().contains("closed"));
+        let cap = VkError::Capacity { requested: 10, available: 4 };
+        assert!(cap.to_string().contains("10"));
+        assert!(cap.to_string().contains("4"));
+        let route = VkError::NoRoute { from: "a".into(), to: "b".into() };
+        assert!(route.to_string().contains("`a`"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let err: Box<dyn Error + Send + Sync> = Box::new(VkError::Closed);
+        assert!(err.source().is_none());
+    }
+}

@@ -1,0 +1,420 @@
+//! Chunk-level pipeline timing engine.
+//!
+//! A data transfer is a chain of *stages* (serialize → copy to kernel →
+//! wire → copy to user → deserialize …). Whether stages overlap decides
+//! end-to-end latency:
+//!
+//! * RunC baselines and Roadrunner shims stream chunk-by-chunk (tokio-style
+//!   async I/O), so stage `k` of chunk `i` runs concurrently with stage
+//!   `k-1` of chunk `i+1` — latency approaches the *bottleneck* stage.
+//! * The WasmEdge-like guest is single-threaded and synchronous (paper §1:
+//!   "single-threaded execution … forces the processing of complex tasks
+//!   to be performed sequentially"), so stage totals *add up*.
+//!
+//! This distinction is exactly what produces the paper's inter-node gap
+//! (Fig. 6a): everyone pays ~8 s of wire time for 100 MB at 100 Mbit/s,
+//! but WasmEdge adds its serialization time on top while Roadrunner and
+//! RunC hide processing behind the wire.
+//!
+//! The engine also models fan-out: `n` identical transfers sharing `c`
+//! cores and one link (Fig. 9/Fig. 10).
+
+use std::sync::Arc;
+
+use crate::account::ResourceAccount;
+use crate::Nanos;
+
+/// Which space a stage's busy time is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Space {
+    /// User-space CPU (serialization, VM I/O, HTTP framing).
+    User,
+    /// Kernel-space CPU (copies across the boundary, syscalls, page maps).
+    Kernel,
+    /// The wire: occupies the link, consumes no CPU.
+    Wire,
+}
+
+/// One stage of a transfer pipeline.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Human-readable label (appears in reports, e.g. `serialize`).
+    pub label: String,
+    /// Account charged for this stage's busy time (`None` for the wire).
+    pub account: Option<Arc<ResourceAccount>>,
+    /// Whether busy time is user CPU, kernel CPU, or wire occupancy.
+    pub space: Space,
+    /// Fixed cost per chunk (syscall, context switch, host-call boundary).
+    pub fixed_per_chunk_ns: Nanos,
+    /// Throughput-dependent cost (ns per payload byte).
+    pub ns_per_byte: f64,
+    /// One-time lead-in latency before the stage's first chunk
+    /// (e.g. link propagation delay, HTTP header parse). Not CPU time.
+    pub lead_in_ns: Nanos,
+}
+
+impl Stage {
+    /// Convenience constructor; lead-in defaults to zero.
+    pub fn new(
+        label: impl Into<String>,
+        account: Option<Arc<ResourceAccount>>,
+        space: Space,
+        fixed_per_chunk_ns: Nanos,
+        ns_per_byte: f64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            account,
+            space,
+            fixed_per_chunk_ns,
+            ns_per_byte,
+            lead_in_ns: 0,
+        }
+    }
+
+    /// Sets the one-time lead-in latency.
+    pub fn with_lead_in(mut self, lead_in_ns: Nanos) -> Self {
+        self.lead_in_ns = lead_in_ns;
+        self
+    }
+
+    /// Busy time this stage spends on a chunk of `bytes`.
+    pub fn chunk_cost(&self, bytes: usize) -> Nanos {
+        self.fixed_per_chunk_ns + (bytes as f64 * self.ns_per_byte).round() as Nanos
+    }
+
+    /// Total busy time over a transfer of `total_bytes` in `chunks`
+    /// chunks.
+    pub fn total_cost(&self, total_bytes: usize, chunks: usize) -> Nanos {
+        self.fixed_per_chunk_ns * chunks as Nanos
+            + (total_bytes as f64 * self.ns_per_byte).round() as Nanos
+    }
+}
+
+/// Whether the stages of a transfer overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overlap {
+    /// Chunk-level streaming: stages run concurrently (RunC, Roadrunner).
+    Pipelined,
+    /// Strictly sequential stages (single-threaded WasmEdge guest).
+    Sequential,
+}
+
+/// Result of running a transfer through the engine.
+#[derive(Debug, Clone)]
+pub struct TransferOutcome {
+    /// End-to-end latency in virtual nanoseconds.
+    pub latency_ns: Nanos,
+    /// Per-stage busy time, in stage order.
+    pub stage_busy_ns: Vec<(String, Nanos)>,
+}
+
+impl TransferOutcome {
+    /// Busy time of the stage labelled `label` (sums duplicates).
+    pub fn busy_of(&self, label: &str) -> Nanos {
+        self.stage_busy_ns
+            .iter()
+            .filter(|(l, _)| l == label)
+            .map(|(_, ns)| ns)
+            .sum()
+    }
+}
+
+/// Runs a transfer of `total_bytes` through `stages`, split into chunks of
+/// `chunk_bytes`, and charges every stage's busy time to its account.
+///
+/// Latency is computed from the chunk-level schedule; accounts are charged
+/// "off clock" (the caller decides how to advance the shared clock, since
+/// concurrent transfers overlap in time).
+///
+/// # Panics
+///
+/// Panics if `stages` is empty or `chunk_bytes` is zero.
+pub fn run(
+    stages: &[Stage],
+    total_bytes: usize,
+    chunk_bytes: usize,
+    overlap: Overlap,
+) -> TransferOutcome {
+    assert!(!stages.is_empty(), "a transfer needs at least one stage");
+    assert!(chunk_bytes > 0, "chunk size must be positive");
+
+    let full_chunks = total_bytes / chunk_bytes;
+    let tail = total_bytes % chunk_bytes;
+    let mut chunk_sizes: Vec<usize> = vec![chunk_bytes; full_chunks];
+    if tail > 0 || total_bytes == 0 {
+        chunk_sizes.push(tail);
+    }
+    let n_chunks = chunk_sizes.len();
+
+    let latency_ns = match overlap {
+        Overlap::Pipelined => {
+            // stage_free[s] = when stage s finishes its latest chunk.
+            let mut stage_free: Vec<Nanos> = stages.iter().map(|s| s.lead_in_ns).collect();
+            let mut chunk_done: Nanos = 0;
+            for &size in &chunk_sizes {
+                let mut t = 0; // chunk enters the pipeline at t=0 availability
+                for (s, stage) in stages.iter().enumerate() {
+                    let start = t.max(stage_free[s]);
+                    let done = start + stage.chunk_cost(size);
+                    stage_free[s] = done;
+                    t = done;
+                }
+                chunk_done = t;
+            }
+            chunk_done
+        }
+        Overlap::Sequential => {
+            let mut t: Nanos = 0;
+            for stage in stages {
+                t += stage.lead_in_ns + stage.total_cost(total_bytes, n_chunks);
+            }
+            t
+        }
+    };
+
+    let mut stage_busy_ns = Vec::with_capacity(stages.len());
+    for stage in stages {
+        let busy = stage.total_cost(total_bytes, n_chunks);
+        if let Some(account) = &stage.account {
+            match stage.space {
+                Space::User => account.charge_user(busy),
+                Space::Kernel => account.charge_kernel(busy),
+                Space::Wire => {}
+            }
+        }
+        stage_busy_ns.push((stage.label.clone(), busy));
+    }
+
+    TransferOutcome { latency_ns, stage_busy_ns }
+}
+
+/// Outcome of a fan-out run: `n` identical transfers starting together.
+#[derive(Debug, Clone)]
+pub struct FanoutOutcome {
+    /// Time until *all* branches complete.
+    pub makespan_ns: Nanos,
+    /// Latency of a single branch run in isolation (lower bound).
+    pub single_ns: Nanos,
+}
+
+/// Models `n` identical transfers launched simultaneously, sharing
+/// `cores` CPUs and (for wire stages) one link.
+///
+/// Each CPU stage can run on at most `cores` branches at once; the wire is
+/// a single shared resource. The makespan is bounded below by the
+/// single-branch latency (pipeline fill) and by every stage's aggregate
+/// demand divided by its service capacity — the standard bound for a
+/// pipelined system under saturation.
+///
+/// Accounts are charged for all `n` branches.
+pub fn run_fanout(
+    stages: &[Stage],
+    total_bytes: usize,
+    chunk_bytes: usize,
+    overlap: Overlap,
+    n: usize,
+    cores: u32,
+) -> FanoutOutcome {
+    assert!(n > 0, "fan-out degree must be positive");
+    let single = run(stages, total_bytes, chunk_bytes, overlap);
+    // `run` charged one branch; charge the remaining n-1.
+    let n_chunks = chunk_sizes_len(total_bytes, chunk_bytes);
+    for stage in stages {
+        if let Some(account) = &stage.account {
+            let busy = stage.total_cost(total_bytes, n_chunks) * (n as Nanos - 1);
+            match stage.space {
+                Space::User => account.charge_user(busy),
+                Space::Kernel => account.charge_kernel(busy),
+                Space::Wire => {}
+            }
+        }
+    }
+
+    let mut makespan = single.latency_ns;
+    for stage in stages {
+        let busy = stage.total_cost(total_bytes, n_chunks);
+        let capacity = match stage.space {
+            Space::User | Space::Kernel => cores.max(1) as Nanos,
+            Space::Wire => 1,
+        };
+        let aggregate = busy.saturating_mul(n as Nanos) / capacity + stage.lead_in_ns;
+        makespan = makespan.max(aggregate);
+    }
+    // Sequential (single-threaded) branches additionally serialize their
+    // own stages; under contention the CPU-bound portion of all branches
+    // shares the cores.
+    if overlap == Overlap::Sequential {
+        let cpu_total: Nanos = stages
+            .iter()
+            .filter(|s| s.space != Space::Wire)
+            .map(|s| s.total_cost(total_bytes, n_chunks))
+            .sum();
+        makespan = makespan.max(cpu_total.saturating_mul(n as Nanos) / cores.max(1) as Nanos);
+    }
+
+    FanoutOutcome { makespan_ns: makespan, single_ns: single.latency_ns }
+}
+
+fn chunk_sizes_len(total_bytes: usize, chunk_bytes: usize) -> usize {
+    let full = total_bytes / chunk_bytes;
+    if total_bytes % chunk_bytes > 0 || total_bytes == 0 {
+        full + 1
+    } else {
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct(name: &str) -> Arc<ResourceAccount> {
+        ResourceAccount::new(name)
+    }
+
+    fn simple_stage(label: &str, ns_per_byte: f64) -> Stage {
+        Stage::new(label, None, Space::User, 0, ns_per_byte)
+    }
+
+    #[test]
+    fn pipelined_latency_approaches_bottleneck() {
+        let stages =
+            vec![simple_stage("fast", 0.1), simple_stage("slow", 1.0), simple_stage("fast2", 0.1)];
+        let total = 10 << 20;
+        let out = run(&stages, total, 64 << 10, Overlap::Pipelined);
+        let bottleneck = (total as f64 * 1.0) as Nanos;
+        let sum: Nanos = (total as f64 * 1.2) as Nanos;
+        assert!(out.latency_ns >= bottleneck);
+        assert!(out.latency_ns < sum, "pipelining should beat the stage sum");
+    }
+
+    #[test]
+    fn sequential_latency_is_stage_sum() {
+        let stages = vec![simple_stage("a", 0.5), simple_stage("b", 0.5)];
+        let total = 1 << 20;
+        let out = run(&stages, total, 64 << 10, Overlap::Sequential);
+        assert_eq!(out.latency_ns, (total as f64 * 1.0).round() as Nanos);
+    }
+
+    #[test]
+    fn pipelined_never_slower_than_sequential() {
+        for chunk in [4096usize, 65536, 1 << 20] {
+            let stages = vec![
+                Stage::new("s1", None, Space::User, 500, 0.7),
+                Stage::new("s2", None, Space::Kernel, 300, 0.3),
+                Stage::new("wire", None, Space::Wire, 0, 80.0).with_lead_in(500_000),
+            ];
+            let total = 3 << 20;
+            let p = run(&stages, total, chunk, Overlap::Pipelined);
+            let s = run(&stages, total, chunk, Overlap::Sequential);
+            assert!(p.latency_ns <= s.latency_ns, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn lead_in_delays_first_chunk() {
+        let stages = vec![simple_stage("a", 0.0).with_lead_in(1_000_000)];
+        let out = run(&stages, 10, 10, Overlap::Pipelined);
+        assert!(out.latency_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn accounts_are_charged_by_space() {
+        let user = acct("u");
+        let kernel = acct("k");
+        let stages = vec![
+            Stage::new("u-stage", Some(Arc::clone(&user)), Space::User, 0, 1.0),
+            Stage::new("k-stage", Some(Arc::clone(&kernel)), Space::Kernel, 0, 2.0),
+            Stage::new("wire", Some(Arc::clone(&user)), Space::Wire, 0, 5.0),
+        ];
+        run(&stages, 1000, 100, Overlap::Pipelined);
+        assert_eq!(user.user_ns(), 1000);
+        assert_eq!(user.kernel_ns(), 0);
+        assert_eq!(kernel.kernel_ns(), 2000);
+        // Wire charges nobody even when an account is attached.
+        assert_eq!(user.total_cpu_ns(), 1000);
+    }
+
+    #[test]
+    fn zero_bytes_still_pays_fixed_costs() {
+        let stages = vec![Stage::new("a", None, Space::User, 700, 1.0)];
+        let out = run(&stages, 0, 4096, Overlap::Pipelined);
+        assert_eq!(out.latency_ns, 700);
+    }
+
+    #[test]
+    fn outcome_busy_lookup() {
+        let stages = vec![simple_stage("x", 1.0), simple_stage("y", 2.0)];
+        let out = run(&stages, 100, 100, Overlap::Pipelined);
+        assert_eq!(out.busy_of("x"), 100);
+        assert_eq!(out.busy_of("y"), 200);
+        assert_eq!(out.busy_of("missing"), 0);
+    }
+
+    #[test]
+    fn latency_monotonic_in_bytes() {
+        let stages = vec![
+            Stage::new("cpu", None, Space::User, 200, 0.9),
+            Stage::new("wire", None, Space::Wire, 0, 80.0).with_lead_in(500_000),
+        ];
+        let mut last = 0;
+        for mb in [1usize, 2, 4, 8, 16] {
+            let out = run(&stages, mb << 20, 64 << 10, Overlap::Pipelined);
+            assert!(out.latency_ns > last, "size {mb} MiB");
+            last = out.latency_ns;
+        }
+    }
+
+    #[test]
+    fn fanout_of_one_equals_single() {
+        let stages = vec![simple_stage("a", 1.0)];
+        let out = run_fanout(&stages, 1000, 100, Overlap::Pipelined, 1, 4);
+        assert_eq!(out.makespan_ns, out.single_ns);
+    }
+
+    #[test]
+    fn fanout_flat_until_cores_exhausted() {
+        let stages = vec![Stage::new("cpu", None, Space::User, 0, 1.0)];
+        let at =
+            |n| run_fanout(&stages, 1_000_000, 65_536, Overlap::Pipelined, n, 4).makespan_ns;
+        // With 4 cores, 2 branches fit; 16 do not.
+        assert_eq!(at(2), at(1));
+        assert!(at(16) > at(4));
+        assert!(at(32) >= at(16) * 15 / 10, "beyond cores growth should be ~linear");
+    }
+
+    #[test]
+    fn fanout_wire_is_single_capacity() {
+        let stages = vec![Stage::new("wire", None, Space::Wire, 0, 10.0)];
+        let one = run_fanout(&stages, 1_000_000, 65_536, Overlap::Pipelined, 1, 4).makespan_ns;
+        let four = run_fanout(&stages, 1_000_000, 65_536, Overlap::Pipelined, 4, 4).makespan_ns;
+        assert!(four >= one * 4, "wire must not parallelize across cores");
+    }
+
+    #[test]
+    fn fanout_charges_all_branches() {
+        let a = acct("u");
+        let stages = vec![Stage::new("cpu", Some(Arc::clone(&a)), Space::User, 0, 1.0)];
+        run_fanout(&stages, 1000, 1000, Overlap::Pipelined, 5, 4);
+        assert_eq!(a.user_ns(), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_stage_list_panics() {
+        run(&[], 10, 10, Overlap::Pipelined);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_panics() {
+        run(&[simple_stage("a", 1.0)], 10, 0, Overlap::Pipelined);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out degree")]
+    fn zero_fanout_panics() {
+        run_fanout(&[simple_stage("a", 1.0)], 10, 10, Overlap::Pipelined, 0, 4);
+    }
+}

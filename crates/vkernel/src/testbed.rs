@@ -1,0 +1,173 @@
+//! The assembled testbed: nodes plus links, wired like the paper's setup.
+
+use std::sync::Arc;
+
+use crate::clock::VirtualClock;
+use crate::costmodel::CostModel;
+use crate::net::Link;
+use crate::node::Node;
+
+/// A complete simulated deployment: nodes sharing one virtual clock and
+/// cost model, a WAN link between nodes, and a loopback link per node.
+///
+/// [`Testbed::paper`] reproduces §6.2: two 4-core/8 GB VMs connected by a
+/// 100 Mbit/s link with 1 ms RTT.
+///
+/// ```
+/// # use roadrunner_vkernel::Testbed;
+/// let bed = Testbed::paper();
+/// assert_eq!(bed.nodes().len(), 2);
+/// assert_eq!(bed.node(0).cores(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Testbed {
+    clock: VirtualClock,
+    cost: Arc<CostModel>,
+    nodes: Vec<Arc<Node>>,
+    wan: Arc<Link>,
+    loopbacks: Vec<Arc<Link>>,
+}
+
+impl Testbed {
+    /// Builds a testbed of `node_count` nodes with the given cost model.
+    pub fn new(node_count: usize, cores: u32, ram_bytes: u64, cost: CostModel) -> Self {
+        assert!(node_count >= 1, "a testbed needs at least one node");
+        let clock = VirtualClock::new();
+        let cost = Arc::new(cost);
+        let nodes: Vec<_> = (0..node_count)
+            .map(|i| {
+                Node::new(format!("node-{i}"), cores, ram_bytes, clock.clone(), Arc::clone(&cost))
+            })
+            .collect();
+        let wan = Link::new(
+            "wan",
+            cost.net_bandwidth_bps,
+            cost.net_rtt_ns,
+            cost.mtu_bytes,
+        );
+        let loopbacks = (0..node_count).map(|i| Link::loopback(format!("lo-{i}"))).collect();
+        Self { clock, cost, nodes, wan, loopbacks }
+    }
+
+    /// The paper's two-node edge–cloud testbed (§6.2).
+    pub fn paper() -> Self {
+        Self::new(2, 4, 8 << 30, CostModel::paper_testbed())
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Arc<Node>] {
+        &self.nodes
+    }
+
+    /// Node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &Arc<Node> {
+        &self.nodes[i]
+    }
+
+    /// The shared WAN link between any two distinct nodes.
+    pub fn wan(&self) -> &Arc<Link> {
+        &self.wan
+    }
+
+    /// The loopback link of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn loopback(&self, i: usize) -> &Arc<Link> {
+        &self.loopbacks[i]
+    }
+
+    /// Link to use between node `a` and node `b` (loopback when equal).
+    pub fn link_between(&self, a: usize, b: usize) -> &Arc<Link> {
+        if a == b {
+            self.loopback(a)
+        } else {
+            self.wan()
+        }
+    }
+
+    /// Resets link reservations and every sandbox account — called between
+    /// benchmark repetitions.
+    pub fn reset_telemetry(&self) {
+        self.wan.reset();
+        for lo in &self.loopbacks {
+            lo.reset();
+        }
+        for node in &self.nodes {
+            for account in node.accounts() {
+                account.reset();
+            }
+        }
+    }
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_section_6_2() {
+        let bed = Testbed::paper();
+        assert_eq!(bed.nodes().len(), 2);
+        assert_eq!(bed.node(0).cores(), 4);
+        assert_eq!(bed.node(0).ram_bytes(), 8 << 30);
+        // Effective bandwidth implied by the paper's own Fig. 8a series
+        // (see CostModel::net_bandwidth_bps docs).
+        assert_eq!(bed.wan().bandwidth_bps(), 700_000_000);
+        assert_eq!(bed.wan().rtt_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn link_between_picks_loopback_for_same_node() {
+        let bed = Testbed::paper();
+        assert_eq!(bed.link_between(0, 0).name(), "lo-0");
+        assert_eq!(bed.link_between(0, 1).name(), "wan");
+        assert_eq!(bed.link_between(1, 0).name(), "wan");
+    }
+
+    #[test]
+    fn nodes_share_one_clock() {
+        let bed = Testbed::paper();
+        bed.node(0).clock().advance(5);
+        assert_eq!(bed.node(1).clock().now(), 5);
+    }
+
+    #[test]
+    fn reset_telemetry_clears_accounts_and_links() {
+        let bed = Testbed::paper();
+        let sb = bed.node(0).sandbox("fn");
+        sb.charge_user(100);
+        bed.wan().reserve(0, 1 << 20);
+        bed.reset_telemetry();
+        assert_eq!(sb.account().total_cpu_ns(), 0);
+        let done = bed.wan().reserve(0, 0);
+        assert_eq!(done, bed.wan().propagation_ns());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_testbed_panics() {
+        Testbed::new(0, 4, 1, CostModel::paper_testbed());
+    }
+}

@@ -1,0 +1,214 @@
+//! Programmatic module construction.
+//!
+//! The paper compiles Rust guests to Wasm with a toolchain; this
+//! reproduction has no compiler, so [`ModuleBuilder`] plays that role:
+//! examples and benchmarks assemble their guest functions directly from
+//! typed instructions, then encode them to real binaries.
+//!
+//! ```
+//! use roadrunner_wasm::{Instr, ModuleBuilder};
+//! use roadrunner_wasm::types::{FuncType, ValType};
+//!
+//! # fn main() -> Result<(), roadrunner_wasm::validate::ValidationError> {
+//! let module = ModuleBuilder::new()
+//!     .memory(1, Some(16))
+//!     .func(
+//!         FuncType::new([ValType::I32, ValType::I32], [ValType::I32]),
+//!         [],
+//!         [Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32Add],
+//!     )
+//!     .export_func("add", 0)
+//!     .build()?;
+//! assert!(module.export("add").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::instr::Instr;
+use crate::module::{DataSegment, Export, ExportKind, FuncDef, GlobalDef, Import, Module};
+use crate::types::{FuncType, Limits, ValType, Value};
+use crate::validate::{validate, ValidationError};
+
+/// Consuming builder for [`Module`]s.
+#[derive(Debug, Default, Clone)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Starts an empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern_type(&mut self, ty: FuncType) -> u32 {
+        if let Some(pos) = self.module.types.iter().position(|t| *t == ty) {
+            return pos as u32;
+        }
+        self.module.types.push(ty);
+        (self.module.types.len() - 1) as u32
+    }
+
+    /// Declares an imported host function and returns its index in the
+    /// function index space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ModuleBuilder::func`] — imports occupy the
+    /// leading indices, so they must be declared first.
+    pub fn import_func(
+        mut self,
+        module: impl Into<String>,
+        name: impl Into<String>,
+        ty: FuncType,
+    ) -> Self {
+        assert!(
+            self.module.funcs.is_empty(),
+            "imports must be declared before module functions"
+        );
+        let type_idx = self.intern_type(ty);
+        self.module.imports.push(Import { module: module.into(), name: name.into(), type_idx });
+        self
+    }
+
+    /// Index the *next* declared function will receive (imports included).
+    pub fn next_func_index(&self) -> u32 {
+        (self.module.imports.len() + self.module.funcs.len()) as u32
+    }
+
+    /// Defines a function; returns the builder for chaining. The function
+    /// occupies index [`ModuleBuilder::next_func_index`] at the time of
+    /// the call.
+    pub fn func(
+        mut self,
+        ty: FuncType,
+        locals: impl IntoIterator<Item = ValType>,
+        body: impl IntoIterator<Item = Instr>,
+    ) -> Self {
+        let type_idx = self.intern_type(ty);
+        self.module.funcs.push(FuncDef {
+            type_idx,
+            locals: locals.into_iter().collect(),
+            body: body.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Declares the module's linear memory in 64 KiB pages.
+    pub fn memory(mut self, min_pages: u32, max_pages: Option<u32>) -> Self {
+        self.module.memory = Some(Limits::new(min_pages, max_pages));
+        self
+    }
+
+    /// Declares a global with a constant initializer.
+    pub fn global(mut self, ty: ValType, mutable: bool, init: Value) -> Self {
+        self.module.globals.push(GlobalDef { ty, mutable, init });
+        self
+    }
+
+    /// Exports the function at `func_idx` (imports included) as `name`.
+    pub fn export_func(mut self, name: impl Into<String>, func_idx: u32) -> Self {
+        self.module.exports.push(Export { name: name.into(), kind: ExportKind::Func(func_idx) });
+        self
+    }
+
+    /// Exports the linear memory as `name`.
+    pub fn export_memory(mut self, name: impl Into<String>) -> Self {
+        self.module.exports.push(Export { name: name.into(), kind: ExportKind::Memory });
+        self
+    }
+
+    /// Exports the global at `global_idx` as `name`.
+    pub fn export_global(mut self, name: impl Into<String>, global_idx: u32) -> Self {
+        self.module
+            .exports
+            .push(Export { name: name.into(), kind: ExportKind::Global(global_idx) });
+        self
+    }
+
+    /// Adds an active data segment placed at `offset` on instantiation.
+    pub fn data(mut self, offset: u32, bytes: Vec<u8>) -> Self {
+        self.module.data.push(DataSegment { offset, bytes });
+        self
+    }
+
+    /// Sets the start function.
+    pub fn start(mut self, func_idx: u32) -> Self {
+        self.module.start = Some(func_idx);
+        self
+    }
+
+    /// Validates and returns the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError`] if the module is ill-typed or refers to
+    /// out-of-range indices.
+    pub fn build(self) -> Result<Module, ValidationError> {
+        validate(&self.module)?;
+        Ok(self.module)
+    }
+
+    /// Returns the module without validating — for tests that need to
+    /// construct invalid modules on purpose.
+    pub fn build_unchecked(self) -> Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_are_deduplicated() {
+        let sig = FuncType::new([ValType::I32], [ValType::I32]);
+        let m = ModuleBuilder::new()
+            .func(sig.clone(), [], [Instr::LocalGet(0)])
+            .func(sig, [], [Instr::LocalGet(0)])
+            .build()
+            .unwrap();
+        assert_eq!(m.types.len(), 1);
+        assert_eq!(m.funcs.len(), 2);
+    }
+
+    #[test]
+    fn import_indices_precede_function_indices() {
+        let b = ModuleBuilder::new()
+            .import_func("env", "h", FuncType::new([], []));
+        assert_eq!(b.next_func_index(), 1);
+        let m = b
+            .func(FuncType::new([], []), [], [])
+            .export_func("f", 1)
+            .build()
+            .unwrap();
+        assert_eq!(m.func_count(), 2);
+        assert_eq!(m.imports.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "imports must be declared before")]
+    fn import_after_func_panics() {
+        let _ = ModuleBuilder::new()
+            .func(FuncType::new([], []), [], [])
+            .import_func("env", "h", FuncType::new([], []));
+    }
+
+    #[test]
+    fn build_validates() {
+        // Body returns nothing but signature promises an i32.
+        let err = ModuleBuilder::new()
+            .func(FuncType::new([], [ValType::I32]), [], [])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("func"));
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let m = ModuleBuilder::new()
+            .func(FuncType::new([], [ValType::I32]), [], [])
+            .build_unchecked();
+        assert_eq!(m.funcs.len(), 1);
+    }
+}

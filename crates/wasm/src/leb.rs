@@ -1,0 +1,182 @@
+//! LEB128 encoding as used by the WebAssembly binary format: unsigned for
+//! indices and sizes, signed for `i32.const`/`i64.const` immediates.
+
+/// Appends unsigned LEB128.
+pub fn write_u32(out: &mut Vec<u8>, value: u32) {
+    write_u64(out, value as u64);
+}
+
+/// Appends unsigned LEB128.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends signed LEB128.
+pub fn write_i32(out: &mut Vec<u8>, value: i32) {
+    write_i64(out, value as i64);
+}
+
+/// Appends signed LEB128.
+pub fn write_i64(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (value == 0 && sign_clear) || (value == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads unsigned LEB128 bounded to 32 bits.
+pub fn read_u32(input: &[u8], pos: &mut usize) -> Option<u32> {
+    let v = read_unsigned(input, pos, 32)?;
+    Some(v as u32)
+}
+
+/// Reads unsigned LEB128 bounded to 64 bits.
+#[allow(dead_code)] // exercised by tests; kept for format completeness
+pub fn read_u64(input: &[u8], pos: &mut usize) -> Option<u64> {
+    read_unsigned(input, pos, 64)
+}
+
+fn read_unsigned(input: &[u8], pos: &mut usize, bits: u32) -> Option<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos)?;
+        *pos += 1;
+        if shift >= bits {
+            return None;
+        }
+        let payload = u64::from(byte & 0x7F);
+        // Reject set bits beyond the target width.
+        if shift + 7 > bits && payload >> (bits - shift) != 0 {
+            return None;
+        }
+        result |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Some(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads signed LEB128 bounded to 32 bits.
+pub fn read_i32(input: &[u8], pos: &mut usize) -> Option<i32> {
+    let v = read_signed(input, pos, 33)?;
+    i32::try_from(v).ok()
+}
+
+/// Reads signed LEB128 bounded to 64 bits.
+pub fn read_i64(input: &[u8], pos: &mut usize) -> Option<i64> {
+    read_signed(input, pos, 64)
+}
+
+fn read_signed(input: &[u8], pos: &mut usize, bits: u32) -> Option<i64> {
+    let mut result: i64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos)?;
+        *pos += 1;
+        if shift >= bits + 7 {
+            return None;
+        }
+        result |= i64::from(byte & 0x7F) << shift.min(63);
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                result |= -1i64 << shift;
+            }
+            return Some(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unsigned_known_encodings() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 624485);
+        assert_eq!(buf, vec![0xE5, 0x8E, 0x26]);
+    }
+
+    #[test]
+    fn signed_known_encodings() {
+        let mut buf = Vec::new();
+        write_i32(&mut buf, -123456);
+        assert_eq!(buf, vec![0xC0, 0xBB, 0x78]);
+        buf.clear();
+        write_i64(&mut buf, -1);
+        assert_eq!(buf, vec![0x7F]);
+        buf.clear();
+        write_i32(&mut buf, 64);
+        assert_eq!(buf, vec![0xC0, 0x00]);
+    }
+
+    #[test]
+    fn truncated_reads_fail() {
+        let mut pos = 0;
+        assert!(read_u32(&[0x80], &mut pos).is_none());
+        pos = 0;
+        assert!(read_i64(&[0xFF, 0xFF], &mut pos).is_none());
+    }
+
+    #[test]
+    fn u32_overflow_rejected() {
+        // 2^35 encoded: too wide for u32.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1 << 35);
+        let mut pos = 0;
+        assert!(read_u32(&buf, &mut pos).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn u32_round_trip(v in any::<u32>()) {
+            let mut buf = Vec::new();
+            write_u32(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_u32(&buf, &mut pos), Some(v));
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn u64_round_trip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_u64(&buf, &mut pos), Some(v));
+        }
+
+        #[test]
+        fn i32_round_trip(v in any::<i32>()) {
+            let mut buf = Vec::new();
+            write_i32(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_i32(&buf, &mut pos), Some(v));
+        }
+
+        #[test]
+        fn i64_round_trip(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_i64(&buf, &mut pos), Some(v));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Workspace umbrella crate: re-exports the public API of every Roadrunner
+//! crate so examples and integration tests can use one import root.
+pub use roadrunner as core;
+pub use roadrunner_baselines as baselines;
+pub use roadrunner_http as http;
+pub use roadrunner_platform as platform;
+pub use roadrunner_serial as serial;
+pub use roadrunner_vkernel as vkernel;
+pub use roadrunner_wasi as wasi;
+pub use roadrunner_wasm as wasm;

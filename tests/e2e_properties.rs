@@ -1,0 +1,105 @@
+//! Property-based integration tests: payload integrity and cost-model
+//! invariants across randomized payload shapes, sizes and modes.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
+use roadrunner_baselines::{RuncPair, WasmedgePair};
+use roadrunner_platform::FunctionBundle;
+use roadrunner_serial::payload::{Payload, PayloadKind};
+use roadrunner_vkernel::Testbed;
+use roadrunner_wasm::encode;
+
+fn bundle(name: &str, module: roadrunner_wasm::Module) -> Arc<FunctionBundle> {
+    Arc::new(
+        FunctionBundle::wasm(name, encode::encode(&module))
+            .with_workflow("prop")
+            .with_tenant("t"),
+    )
+}
+
+fn arb_kind() -> impl Strategy<Value = PayloadKind> {
+    prop_oneof![
+        Just(PayloadKind::Text),
+        Just(PayloadKind::SensorRecords),
+        Just(PayloadKind::ImageFrame),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn roadrunner_modes_preserve_any_payload(
+        kind in arb_kind(),
+        seed in any::<u64>(),
+        size in 1usize..300_000,
+        colocate in 0u8..3,
+    ) {
+        let payload = Payload::synthetic(kind, seed, size);
+        let bed = Arc::new(Testbed::paper());
+        let mut plane = RoadrunnerPlane::new(
+            Arc::clone(&bed),
+            ShimConfig::default().with_load_costs(false),
+        );
+        plane.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        match colocate {
+            0 => plane
+                .deploy_into_shared_vm("a", "b", bundle("b", guest::consumer()), "consume", true)
+                .unwrap(),
+            1 => plane.deploy(0, "b", bundle("b", guest::consumer()), "consume", true).unwrap(),
+            _ => plane.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap(),
+        }
+        let received = plane
+            .transfer_edge("a", "b", &Bytes::from(payload.flat().clone()))
+            .unwrap();
+        prop_assert_eq!(&received[..], &payload.flat()[..]);
+        // Latency is charged and positive for non-trivial payloads.
+        let bd = plane.last_breakdown().unwrap();
+        prop_assert!(bd.transfer_ns > 0);
+    }
+
+    #[test]
+    fn baselines_reconstruct_any_payload(
+        kind in arb_kind(),
+        seed in any::<u64>(),
+        size in 1usize..120_000,
+        inter in any::<bool>(),
+    ) {
+        let payload = Payload::synthetic(kind, seed, size);
+        let node_b = if inter { 1 } else { 0 };
+
+        let bed = Arc::new(Testbed::paper());
+        let mut runc = RuncPair::establish(Arc::clone(&bed), 0, node_b);
+        let out = runc.transfer(&payload).unwrap();
+        prop_assert_eq!(&out.received_value, payload.value());
+
+        let bed = Arc::new(Testbed::paper());
+        let mut wedge = WasmedgePair::establish(Arc::clone(&bed), 0, node_b);
+        let out = wedge.transfer(&payload).unwrap();
+        prop_assert_eq!(&out.received_value, payload.value());
+    }
+
+    #[test]
+    fn latency_grows_with_payload_size(
+        seed in any::<u64>(),
+        base in 50_000usize..200_000,
+    ) {
+        let small = Payload::synthetic(PayloadKind::Text, seed, base);
+        let big = Payload::synthetic(PayloadKind::Text, seed, base * 8);
+        let measure = |p: &Payload| {
+            let bed = Arc::new(Testbed::paper());
+            let mut plane = RoadrunnerPlane::new(
+                Arc::clone(&bed),
+                ShimConfig::default().with_load_costs(false),
+            );
+            plane.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+            plane.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+            plane.transfer_edge("a", "b", &Bytes::from(p.flat().clone())).unwrap();
+            plane.last_breakdown().unwrap().transfer_ns
+        };
+        prop_assert!(measure(&big) > measure(&small));
+    }
+}

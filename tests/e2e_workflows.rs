@@ -1,0 +1,149 @@
+//! End-to-end workflow tests spanning the whole stack: platform →
+//! Roadrunner plane → shims → Wasm guests → virtual kernel.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use roadrunner::{guest, Mode, RoadrunnerPlane, ShimConfig};
+use roadrunner_platform::{execute, FunctionBundle, Pattern, WorkflowSpec};
+use roadrunner_serial::payload::{Payload, PayloadKind};
+use roadrunner_serial::raw::fnv1a;
+use roadrunner_vkernel::Testbed;
+use roadrunner_wasm::encode;
+
+fn bundle(name: &str, module: roadrunner_wasm::Module) -> Arc<FunctionBundle> {
+    Arc::new(
+        FunctionBundle::wasm(name, encode::encode(&module))
+            .with_workflow("e2e")
+            .with_tenant("test"),
+    )
+}
+
+fn plane() -> (Arc<Testbed>, RoadrunnerPlane) {
+    let bed = Arc::new(Testbed::paper());
+    let plane = RoadrunnerPlane::new(
+        Arc::clone(&bed),
+        ShimConfig::default().with_load_costs(false),
+    );
+    (bed, plane)
+}
+
+#[test]
+fn three_stage_chain_across_all_modes() {
+    // a and r share a VM (user space), r -> s is kernel space,
+    // s -> b crosses nodes (network): one chain exercising every mode.
+    let (bed, mut p) = plane();
+    p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+    p.deploy_into_shared_vm("a", "r", bundle("r", guest::relay()), "relay", false).unwrap();
+    p.deploy(0, "s", bundle("s", guest::relay()), "relay", false).unwrap();
+    p.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+
+    assert_eq!(p.mode_of("a", "r").unwrap(), Mode::UserSpace);
+    assert_eq!(p.mode_of("r", "s").unwrap(), Mode::KernelSpace);
+    assert_eq!(p.mode_of("s", "b").unwrap(), Mode::Network);
+
+    let payload = Payload::synthetic(PayloadKind::SensorRecords, 21, 3_000_000);
+    let spec = WorkflowSpec::sequence(
+        "e2e",
+        "test",
+        ["a", "r", "s", "b"].map(str::to_owned),
+    );
+    let clock = bed.clock().clone();
+    let run = execute(&mut p, &clock, &spec, Bytes::from(payload.flat().clone())).unwrap();
+    assert_eq!(run.edges.len(), 3);
+    for edge in &run.edges {
+        assert_eq!(
+            fnv1a(&edge.received),
+            payload.checksum(),
+            "edge {} -> {} corrupted the payload",
+            edge.from,
+            edge.to
+        );
+    }
+    assert!(run.total_latency_ns > 0);
+}
+
+#[test]
+fn fanin_collects_at_one_target() {
+    let (bed, mut p) = plane();
+    p.deploy(0, "s1", bundle("s1", guest::producer()), "produce", false).unwrap();
+    p.deploy(0, "s2", bundle("s2", guest::producer()), "produce", false).unwrap();
+    p.deploy(1, "sink", bundle("sink", guest::consumer()), "consume", true).unwrap();
+    let spec = WorkflowSpec {
+        name: "fanin".into(),
+        tenant: "test".into(),
+        pattern: Pattern::FanIn {
+            sources: vec!["s1".into(), "s2".into()],
+            target: "sink".into(),
+        },
+    };
+    let payload = Bytes::from(vec![0xEE; 200_000]);
+    let clock = bed.clock().clone();
+    let run = execute(&mut p, &clock, &spec, payload.clone()).unwrap();
+    assert_eq!(run.edges.len(), 2);
+    assert!(run.edges.iter().all(|e| e.received == payload));
+}
+
+#[test]
+fn large_payload_network_integrity() {
+    // 64 MB through the hose, byte-for-byte.
+    let (_bed, mut p) = plane();
+    p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+    p.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+    let payload = Payload::synthetic(PayloadKind::ImageFrame, 5, 64_000_000);
+    let received = p.transfer_edge("a", "b", payload.flat()).unwrap();
+    assert_eq!(fnv1a(&received), payload.checksum());
+}
+
+#[test]
+fn repeated_edges_accumulate_monotonic_clock() {
+    let (bed, mut p) = plane();
+    p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+    p.deploy(0, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+    let payload = Bytes::from(vec![1u8; 100_000]);
+    let mut last = bed.clock().now();
+    for _ in 0..5 {
+        p.transfer_edge("a", "b", &payload).unwrap();
+        let now = bed.clock().now();
+        assert!(now > last);
+        last = now;
+    }
+}
+
+#[test]
+fn empty_payload_flows_through_every_mode() {
+    let (_bed, mut p) = plane();
+    p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+    p.deploy_into_shared_vm("a", "u", bundle("u", guest::consumer()), "consume", true)
+        .unwrap();
+    p.deploy(0, "k", bundle("k", guest::consumer()), "consume", true).unwrap();
+    p.deploy(1, "n", bundle("n", guest::consumer()), "consume", true).unwrap();
+    for target in ["u", "k", "n"] {
+        let received = p.transfer_edge("a", target, &Bytes::new()).unwrap();
+        assert!(received.is_empty(), "target {target}");
+    }
+}
+
+#[test]
+fn mode_latency_ordering_holds_end_to_end() {
+    // user < kernel < network for the same payload — Fig. 1's premise.
+    let payload = Bytes::from(vec![3u8; 4_000_000]);
+    let mut latencies = Vec::new();
+    for mode in ["user", "kernel", "network"] {
+        let (_bed, mut p) = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        match mode {
+            "user" => p
+                .deploy_into_shared_vm("a", "b", bundle("b", guest::consumer()), "consume", true)
+                .unwrap(),
+            "kernel" => p
+                .deploy(0, "b", bundle("b", guest::consumer()), "consume", true)
+                .unwrap(),
+            _ => p.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap(),
+        }
+        p.transfer_edge("a", "b", &payload).unwrap();
+        latencies.push(p.last_breakdown().unwrap().transfer_ns);
+    }
+    assert!(latencies[0] < latencies[1], "user {} < kernel {}", latencies[0], latencies[1]);
+    assert!(latencies[1] < latencies[2], "kernel {} < network {}", latencies[1], latencies[2]);
+}
