@@ -75,9 +75,9 @@ pub struct CostModel {
     /// contradict it: Fig. 8a reports ≈ 5.5 s for a 480 MB transfer
     /// (≈ 700 Mbit/s effective) where 100 Mbit/s would need ≈ 38 s.
     /// The default uses the effective 700 Mbit/s implied by the measured
-    /// figures so latency shapes match; [`Link::paper_wan`]
-    /// (crate::net::Link::paper_wan) keeps the literal 100 Mbit/s
-    /// configuration for sensitivity runs.
+    /// figures so latency shapes match;
+    /// [`Link::paper_wan`](crate::net::Link::paper_wan) keeps the literal
+    /// 100 Mbit/s configuration for sensitivity runs.
     pub net_bandwidth_bps: u64,
     /// Round-trip time between nodes (paper: stable 1 ms).
     pub net_rtt_ns: Nanos,

@@ -7,7 +7,7 @@
 //! user→kernel copy and receives a kernel→user copy plus the wakeup
 //! context switch — the standard path the paper's baselines ride.
 //!
-//! A zero-copy lane ([`TcpConn::send_spliced`] / [`TcpConn::recv_spliced`])
+//! A zero-copy lane ([`TcpEndpoint::send_spliced`] / [`TcpEndpoint::recv_spliced`])
 //! models `splice` between a pipe and the socket: page references move and
 //! only page-map costs are charged. Roadrunner's virtual data hose uses
 //! this lane.

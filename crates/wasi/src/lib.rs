@@ -11,7 +11,7 @@
 //!
 //! * [`WasiCtx`] — per-instance state: stdio, an in-memory filesystem,
 //!   sockets, args/env, deterministic randomness, exit code.
-//! * [`register`] — installs `fd_read`/`fd_write`/`sock_send`/… into a
+//! * [`mod@register`] — installs `fd_read`/`fd_write`/`sock_send`/… into a
 //!   [`roadrunner_wasm::Linker`].
 //! * [`sock`] — socket adapters over the virtual kernel's TCP and Unix
 //!   endpoints.

@@ -1,0 +1,471 @@
+//! Vendored, dependency-free stand-in for the crates.io [`bytes`] crate.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real crate cannot be fetched; this module reimplements the small API
+//! surface the workspace actually uses with the same semantics:
+//!
+//! * [`Bytes`] is a cheaply cloneable, reference-counted view into an
+//!   immutable byte buffer. `clone`, [`Bytes::slice`] and
+//!   [`Bytes::split_to`] share storage — they never copy, which the
+//!   zero-copy tests in `roadrunner-vkernel` assert via pointer identity.
+//! * [`BytesMut`] is a growable buffer that can be frozen into [`Bytes`]
+//!   without copying.
+//!
+//! [`bytes`]: https://docs.rs/bytes
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// Backing storage of a [`Bytes`]: either a `'static` slice (no
+/// allocation, no refcount) or a shared heap allocation.
+#[derive(Clone)]
+enum Storage {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Storage::Static(s) => s,
+            Storage::Shared(v) => v.as_slice(),
+        }
+    }
+}
+
+/// A cheaply cloneable view into an immutable, reference-counted byte
+/// buffer. Clones and sub-slices share the same allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    storage: Storage,
+    offset: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// The empty buffer. Does not allocate.
+    pub const fn new() -> Self {
+        Bytes {
+            storage: Storage::Static(&[]),
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// Wraps a `'static` slice without copying or allocating.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            storage: Storage::Static(bytes),
+            offset: 0,
+            len: bytes.len(),
+        }
+    }
+
+    /// Copies `data` into a fresh owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a sub-view sharing this buffer's storage. Zero-copy.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted, matching the
+    /// real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "range out of bounds: {start}..{end} of {}",
+            self.len
+        );
+        Bytes {
+            storage: self.storage.clone(),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest in
+    /// `self`. Both halves share storage. Zero-copy.
+    ///
+    /// # Panics
+    /// Panics when `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len, "split_to out of bounds: {at} of {}", self.len);
+        let head = Bytes {
+            storage: self.storage.clone(),
+            offset: self.offset,
+            len: at,
+        };
+        self.offset += at;
+        self.len -= at;
+        head
+    }
+
+    /// Splits off and returns the bytes after `at`, truncating `self` to
+    /// the first `at` bytes. Both halves share storage. Zero-copy.
+    ///
+    /// # Panics
+    /// Panics when `at > self.len()`.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        assert!(at <= self.len, "split_off out of bounds: {at} of {}", self.len);
+        let tail = Bytes {
+            storage: self.storage.clone(),
+            offset: self.offset + at,
+            len: self.len - at,
+        };
+        self.len = at;
+        tail
+    }
+
+    /// Advances the start of the view by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics when `cnt > self.len()`.
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance out of bounds: {cnt} of {}", self.len);
+        self.offset += cnt;
+        self.len -= cnt;
+    }
+
+    /// Shortens the view to `len` bytes; no-op when already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.storage.as_slice()[self.offset..self.offset + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            storage: Storage::Shared(Arc::new(v)),
+            offset: 0,
+            len,
+        }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Self {
+        Bytes::from(v.into_vec())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable, uniquely owned byte buffer that can be frozen into
+/// [`Bytes`] without copying.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// New empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends `data` to the buffer.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.inner.extend_from_slice(data);
+    }
+
+    /// Alias for [`BytesMut::extend_from_slice`], matching the `BufMut`
+    /// method of the real crate.
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Clears the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op when already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    ///
+    /// The real crate shares storage here; this stand-in copies the tail,
+    /// which is semantically identical (both halves are uniquely owned).
+    ///
+    /// # Panics
+    /// Panics when `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.inner.len(),
+            "split_to out of bounds: {at} of {}",
+            self.inner.len()
+        );
+        let tail = self.inner.split_off(at);
+        let head = std::mem::replace(&mut self.inner, tail);
+        BytesMut { inner: head }
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut(len={})", self.inner.len())
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { inner: s.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_storage() {
+        let b = Bytes::from(vec![1u8; 64]);
+        let ptr = b.as_ptr();
+        let c = b.clone();
+        assert_eq!(c.as_ptr(), ptr);
+        let s = b.slice(16..48);
+        assert_eq!(s.as_ptr(), unsafe { ptr.add(16) });
+        assert_eq!(s.len(), 32);
+    }
+
+    #[test]
+    fn split_to_shares_storage() {
+        let mut b = Bytes::from(vec![7u8; 10]);
+        let ptr = b.as_ptr();
+        let head = b.split_to(4);
+        assert_eq!(head.len(), 4);
+        assert_eq!(head.as_ptr(), ptr);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.as_ptr(), unsafe { ptr.add(4) });
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(8);
+        m.extend_from_slice(b"abcdefgh");
+        let ptr = m.as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_ptr(), ptr);
+        assert_eq!(&b[..], b"abcdefgh");
+    }
+
+    #[test]
+    fn equality_and_advance() {
+        let mut b = Bytes::from_static(b"hello world");
+        b.advance(6);
+        assert_eq!(&b[..], b"world");
+        assert_eq!(b, Bytes::copy_from_slice(b"world"));
+    }
+}

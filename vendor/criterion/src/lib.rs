@@ -1,0 +1,293 @@
+//! Vendored, dependency-free stand-in for the crates.io [`criterion`]
+//! crate.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This harness keeps the same API shape — [`Criterion`],
+//! benchmark groups, [`Throughput`], [`BenchmarkId`], `criterion_group!`,
+//! `criterion_main!` and [`black_box`] — but replaces the statistical
+//! machinery with a simple mean over `sample_size` timed iterations
+//! (after one warm-up), printed as a single line per benchmark:
+//!
+//! ```text
+//! group/name            time:  123.4 µs/iter   thrpt:  8.1 GiB/s
+//! ```
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Work-per-iteration declaration; turns measured time into a
+/// throughput column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported in binary units).
+    Bytes(u64),
+    /// Bytes processed per iteration (reported in decimal units).
+    BytesDecimal(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter,
+/// printed as `name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` benchmarked at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples (plus one
+    /// untimed warm-up) and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+fn report(label: &str, mean: Duration, throughput: Option<Throughput>) {
+    let time = if mean.as_secs_f64() >= 1e-3 {
+        format!("{:.3} ms/iter", mean.as_secs_f64() * 1e3)
+    } else if mean.as_secs_f64() >= 1e-6 {
+        format!("{:.1} µs/iter", mean.as_secs_f64() * 1e6)
+    } else {
+        format!("{} ns/iter", mean.as_nanos())
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "   thrpt: {:.2} GiB/s",
+                n as f64 / mean.as_secs_f64() / (1u64 << 30) as f64
+            )
+        }
+        Some(Throughput::BytesDecimal(n)) => {
+            format!("   thrpt: {:.2} GB/s", n as f64 / mean.as_secs_f64() / 1e9)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("   thrpt: {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!("{label:<40} time: {time}{thrpt}");
+}
+
+/// A named set of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work done per iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            bencher.mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            bencher.mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group. (No summary statistics in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(&id.into().to_string(), bencher.mean, None);
+        self
+    }
+}
+
+/// Defines a benchmark group function, with or without a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` for a benchmark binary (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("1k", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn configured_harness_runs() {
+        configured();
+    }
+}

@@ -1,0 +1,852 @@
+//! Vendored, dependency-free stand-in for the crates.io [`proptest`]
+//! crate.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This reimplementation keeps the same module paths and macro
+//! names for the surface the workspace uses — [`Strategy`] with
+//! `prop_map` / `prop_recursive` / `boxed`, [`Just`], [`any`], integer and
+//! float range strategies, tuple strategies, a regex-subset string
+//! strategy, [`collection::vec`], `prop_oneof!`, `proptest!`,
+//! `prop_assert!` and `prop_assert_eq!` — so test code is written exactly
+//! as against the real crate.
+//!
+//! Differences from the real crate: generation is **deterministic**
+//! (seeded from the test's module path, so failures reproduce across
+//! runs) and failing cases are **not shrunk** — the failing input is
+//! reported as generated.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+//! [`Strategy`]: strategy::Strategy
+//! [`Just`]: strategy::Just
+//! [`any`]: arbitrary::any
+
+/// Everything a property test needs in scope, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Random generation and the per-test case runner.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps `cargo test` quick while
+            // still exercising the generators broadly.
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property-test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Drop guard used by `proptest!`: when the test body panics (rather
+    /// than failing a `prop_assert!`), unwinding drops this guard and the
+    /// generated inputs of the dying case are printed to stderr. On the
+    /// success path the macro `mem::forget`s it.
+    pub struct ReportInputsOnPanic<'a> {
+        case: u32,
+        inputs: &'a [String],
+    }
+
+    impl<'a> ReportInputsOnPanic<'a> {
+        /// Guards the given case's formatted inputs.
+        pub fn new(case: u32, inputs: &'a [String]) -> Self {
+            ReportInputsOnPanic { case, inputs }
+        }
+    }
+
+    impl Drop for ReportInputsOnPanic<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest case {} panicked with inputs [{}]",
+                    self.case,
+                    self.inputs.join(", ")
+                );
+            }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator: seeded from the test name so
+    /// every run regenerates the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for the named test (pass `module_path!() :: test_name`).
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name gives a stable, well-spread seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0, "below(0)");
+            // Multiply-shift bounded sampling (Lemire); bias is
+            // negligible for test generation.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike the real crate there is no value tree and no shrinking:
+    /// `generate` directly yields a value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and
+        /// `branch` wraps an inner strategy into one more level of
+        /// nesting. Nesting is structurally bounded by `depth`; the
+        /// `_desired_size` / `_expected_branch_size` tuning knobs of the
+        /// real crate are accepted and ignored.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                // Each level flips between bottoming out at a leaf and
+                // recursing one level deeper, so sizes stay spread.
+                current = Union::new(vec![leaf.clone(), branch(current).boxed()]).boxed();
+            }
+            current
+        }
+
+        /// Type-erases the strategy so heterogeneous strategies of one
+        /// value type can be mixed (e.g. by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Object-safe core of [`Strategy`], used by [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A cheaply cloneable, type-erased strategy.
+    pub struct BoxedStrategy<V> {
+        inner: Arc<dyn DynStrategy<V>>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<V> std::fmt::Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform (or weighted) choice between strategies of one value
+    /// type. Built by `prop_oneof!`.
+    pub struct Union<V> {
+        options: Vec<(u32, BoxedStrategy<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Uniform choice over `options`.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            Union::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Weighted choice over `options`; weights must not all be zero.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+            let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total_weight);
+            for (weight, option) in &self.options {
+                if pick < *weight as u64 {
+                    return option.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),+) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    (start as i128 + rng.below(span + 1) as i128) as $ty
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            // The multiply-add can round up to the exclusive end bound
+            // (e.g. when the span is near the float spacing); clamp to
+            // the largest representable value below it.
+            if v >= self.end {
+                self.end.next_down()
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() as f32 * (self.end - self.start);
+            if v >= self.end {
+                self.end.next_down()
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// `any::<T>()` — full-domain strategies for primitive types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// A strategy generating arbitrary values of `T` over its whole
+    /// domain.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($ty:ty),+) => {$(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<char> {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            // Bias toward ASCII, occasionally emit a higher code point.
+            if rng.below(4) == 0 {
+                char::from_u32(0x100 + rng.below(0xFF00) as u32).unwrap_or('\u{fffd}')
+            } else {
+                (0x20 + rng.below(0x5f) as u8) as char
+            }
+        }
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size constraint for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Regex-subset string strategies: `"[a-z]{1,6}"` as a `Strategy`.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// One parsed pattern atom: a set of candidate chars plus a
+    /// repetition range.
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the regex subset used in strategies: sequences of literal
+    /// characters and `[...]` classes (with `a-z` ranges), each
+    /// optionally followed by `{n}`, `{m,n}`, `?`, `*` or `+`
+    /// (unbounded repetitions are capped at 8).
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let choices = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next() {
+                            None => panic!("unterminated [class] in pattern {pattern:?}"),
+                            Some(']') => break,
+                            Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                                let start = prev.take().unwrap();
+                                let end = chars.next().unwrap();
+                                // `start` was already pushed as a literal;
+                                // extend with the rest of the range.
+                                let (lo, hi) = (start as u32 + 1, end as u32);
+                                for cp in lo..=hi {
+                                    if let Some(ch) = char::from_u32(cp) {
+                                        set.push(ch);
+                                    }
+                                }
+                            }
+                            Some('\\') => {
+                                let esc = chars
+                                    .next()
+                                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                                set.push(esc);
+                                prev = Some(esc);
+                            }
+                            Some(ch) => {
+                                set.push(ch);
+                                prev = Some(ch);
+                            }
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty [class] in pattern {pattern:?}");
+                    set
+                }
+                '\\' => vec![chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"))],
+                '.' => (' '..='~').collect(),
+                other => vec![other],
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for ch in chars.by_ref() {
+                        if ch == '}' {
+                            break;
+                        }
+                        spec.push(ch);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {m,n} bound"),
+                            hi.trim().parse().expect("bad {m,n} bound"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad {n} bound");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in parse(self) {
+                let count =
+                    atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+                for _ in 0..count {
+                    out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Runs property tests: `proptest! { #[test] fn f(x in strat) { ... } }`.
+///
+/// An optional `#![proptest_config(...)]` first line sets the case count.
+/// Bodies may use `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+/// which abort only the current case with a descriptive panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $(
+                        let __generated =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                        __inputs.push(format!(
+                            "{} = {:?}",
+                            stringify!($arg),
+                            &__generated
+                        ));
+                        let $arg = __generated;
+                    )+
+                    // If the body panics outright (unwrap, slice OOB, …)
+                    // the guard still reports the generated inputs.
+                    let __guard =
+                        $crate::test_runner::ReportInputsOnPanic::new(case + 1, &__inputs);
+                    let outcome = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    ::core::mem::forget(__guard);
+                    outcome
+                };
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{} with inputs [{}]: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        __inputs.join(", "),
+                        err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Case-local assertion: fails the current generated case (with its
+/// message) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Case-local equality assertion; prints both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Case-local inequality assertion; prints both values on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Chooses between strategies of one value type, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(10u32..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::test_runner::TestRng::for_test("regex");
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        let s = Strategy::generate(&"[a-zA-Z0-9 ☃]{0,16}", &mut rng);
+        assert!(s.chars().count() <= 16);
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum V {
+            Leaf(u8),
+            List(Vec<V>),
+        }
+        fn depth(v: &V) -> usize {
+            match v {
+                V::Leaf(_) => 0,
+                V::List(vs) => 1 + vs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>().prop_map(V::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(V::List)
+        });
+        let mut rng = crate::test_runner::TestRng::for_test("recursive");
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&v) <= 3, "{v:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0u8..10, b in any::<bool>(), s in "[0-9]{2}") {
+            prop_assert!(a < 10);
+            prop_assert_eq!(s.len(), 2);
+            let _ = b;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v in prop_oneof![1 => Just(1u8), 1 => Just(2u8), 3 => Just(3u8)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+    }
+}
