@@ -1,6 +1,7 @@
 //! Shared types for baseline transfer measurements.
 
 use bytes::Bytes;
+use roadrunner_platform::TransferTiming;
 use roadrunner_serial::Value;
 use roadrunner_vkernel::Nanos;
 
@@ -32,6 +33,17 @@ impl BaselineOutcome {
     pub fn transfer_only_ns(&self) -> Nanos {
         self.latency_ns.saturating_sub(self.serialization_ns())
     }
+
+    /// Phase attribution for the workflow engines: serialization is the
+    /// source's preparation, deserialization the target's consumption,
+    /// everything in between the transfer proper.
+    pub fn timing(&self) -> TransferTiming {
+        TransferTiming {
+            prepare_ns: self.serialize_ns,
+            transfer_ns: self.transfer_only_ns(),
+            consume_ns: self.deserialize_ns,
+        }
+    }
 }
 
 /// Extracts the flat byte representation from a decoded value, mirroring
@@ -59,6 +71,11 @@ mod tests {
         };
         assert_eq!(o.serialization_ns(), 50);
         assert_eq!(o.transfer_only_ns(), 50);
+        let timing = o.timing();
+        assert_eq!(timing.prepare_ns, 30);
+        assert_eq!(timing.transfer_ns, 50);
+        assert_eq!(timing.consume_ns, 20);
+        assert_eq!(timing.total_ns(), o.latency_ns);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use roadrunner_http::{read_request, read_response, send_request, send_response, Request, Response};
-use roadrunner_platform::PlatformError;
+use roadrunner_platform::{DataPlane, PlatformError, TransferTiming};
 use roadrunner_serial::{text, Payload};
 use roadrunner_vkernel::node::Sandbox;
 use roadrunner_vkernel::tcp::{TcpConn, TcpEndpoint};
@@ -122,6 +122,27 @@ impl RuncPair {
     }
 }
 
+/// Workflow-engine integration: the pair carries any edge of the DAG
+/// (its two containers stand in for whichever functions the edge names),
+/// wrapping the raw bytes as an opaque payload that the HTTP path must
+/// serialize and deserialize like any other value.
+impl DataPlane for RuncPair {
+    fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
+        self.transfer_detailed(from, to, payload).map(|(received, _)| received)
+    }
+
+    fn transfer_detailed(
+        &mut self,
+        _from: &str,
+        _to: &str,
+        payload: Bytes,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        let outcome = RuncPair::transfer(self, &Payload::opaque(payload))?;
+        let timing = outcome.timing();
+        Ok((outcome.received_flat, Some(timing)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +201,19 @@ mod tests {
         let p = Payload::synthetic(PayloadKind::SensorRecords, 3, 10_000);
         let out = pair.transfer(&p).unwrap();
         assert_eq!(&out.received_value, p.value());
+    }
+
+    #[test]
+    fn data_plane_transfer_breaks_down_phases() {
+        let bed = Arc::new(Testbed::paper());
+        let mut pair = RuncPair::establish(Arc::clone(&bed), 0, 1);
+        let payload = Bytes::from(vec![0xABu8; 50_000]);
+        let (received, timing) =
+            DataPlane::transfer_detailed(&mut pair, "a", "b", payload.clone()).unwrap();
+        assert_eq!(&received[..], &payload[..]);
+        let timing = timing.expect("baselines attribute every edge");
+        assert!(timing.prepare_ns > 0, "serialization charged to prepare");
+        assert!(timing.consume_ns > 0, "deserialization charged to consume");
+        assert!(timing.transfer_ns >= bed.wan().wire_ns(50_000));
     }
 }

@@ -19,8 +19,9 @@
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use roadrunner::guest::{self, ALLOCATE, DEALLOCATE};
-use roadrunner_platform::PlatformError;
+use roadrunner_platform::{DataPlane, PlatformError, TransferTiming};
 use roadrunner_serial::{text, Payload};
 use roadrunner_vkernel::node::Sandbox;
 use roadrunner_vkernel::tcp::TcpConn;
@@ -254,6 +255,26 @@ impl WasmedgePair {
     }
 }
 
+/// Workflow-engine integration: the pair carries any edge of the DAG,
+/// paying the full in-VM serialize → WASI-chunk stream → deserialize
+/// path on the edge's raw bytes.
+impl DataPlane for WasmedgePair {
+    fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
+        self.transfer_detailed(from, to, payload).map(|(received, _)| received)
+    }
+
+    fn transfer_detailed(
+        &mut self,
+        _from: &str,
+        _to: &str,
+        payload: Bytes,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        let outcome = WasmedgePair::transfer(self, &Payload::opaque(payload))?;
+        let timing = outcome.timing();
+        Ok((outcome.received_flat, Some(timing)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,5 +343,18 @@ mod tests {
         let p = Payload::synthetic(PayloadKind::SensorRecords, 5, 5_000);
         let out = pair.transfer(&p).unwrap();
         assert_eq!(&out.received_value, p.value());
+    }
+
+    #[test]
+    fn data_plane_transfer_pays_in_vm_serialization() {
+        let bed = Arc::new(Testbed::paper());
+        let mut pair = WasmedgePair::establish(Arc::clone(&bed), 0, 0);
+        let payload = Bytes::from(vec![0xCDu8; 40_000]);
+        let (received, timing) =
+            DataPlane::transfer_detailed(&mut pair, "a", "b", payload.clone()).unwrap();
+        assert_eq!(&received[..], &payload[..]);
+        let timing = timing.expect("baselines attribute every edge");
+        // In-VM serialization dominates the prepare phase.
+        assert!(timing.prepare_ns >= bed.cost().serialize_wasm_ns(40_000, 0));
     }
 }

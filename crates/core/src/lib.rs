@@ -1,3 +1,8 @@
+// `RoadrunnerError` deliberately carries rich diagnostic context (region
+// descriptors, trust details); errors are cold paths here, so the enum's
+// size is not worth boxing away.
+#![allow(clippy::result_large_err)]
+
 //! **Roadrunner** — near-zero-copy, serialization-free data transfer for
 //! WebAssembly-based serverless functions.
 //!

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use roadrunner_platform::{DataPlane, FunctionBundle, PlatformError};
+use roadrunner_platform::{DataPlane, FunctionBundle, PlatformError, TransferTiming};
 use roadrunner_vkernel::tcp::{TcpConn, TcpEndpoint};
 use roadrunner_vkernel::unix::{UnixConn, UnixEndpoint};
 use roadrunner_vkernel::{Nanos, Testbed};
@@ -386,6 +386,25 @@ impl DataPlane for RoadrunnerPlane {
     fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
         self.transfer_edge(from, to, &payload).map_err(PlatformError::from)
     }
+
+    fn transfer_detailed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        let received = self.transfer_edge(from, to, &payload).map_err(PlatformError::from)?;
+        let timing = self.last_breakdown.map(|bd| TransferTiming {
+            prepare_ns: bd.prepare_ns,
+            transfer_ns: bd.transfer_ns,
+            consume_ns: bd.consume_ns,
+        });
+        Ok((received, timing))
+    }
+
+    fn placement(&self, function: &str) -> Option<usize> {
+        self.functions.get(function).map(|e| e.node)
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +513,26 @@ mod tests {
     }
 
     #[test]
+    fn transfer_detailed_reports_breakdown_and_placement() {
+        use roadrunner_platform::DataPlane;
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        p.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+        assert_eq!(p.placement("a"), Some(0));
+        assert_eq!(p.placement("b"), Some(1));
+        assert_eq!(p.placement("ghost"), None);
+        let payload = Bytes::from(vec![0x42u8; 80_000]);
+        let (received, timing) = p.transfer_detailed("a", "b", payload.clone()).unwrap();
+        assert_eq!(&received[..], &payload[..]);
+        let timing = timing.expect("roadrunner attributes every edge");
+        let bd = p.last_breakdown().unwrap();
+        assert_eq!(timing.prepare_ns, bd.prepare_ns);
+        assert_eq!(timing.transfer_ns, bd.transfer_ns);
+        assert_eq!(timing.consume_ns, bd.consume_ns);
+        assert_eq!(timing.total_ns(), bd.total_ns());
+    }
+
+    #[test]
     fn workflow_engine_runs_over_the_plane() {
         use roadrunner_platform::{execute, WorkflowSpec};
         let mut p = plane();
@@ -509,7 +548,7 @@ mod tests {
         let payload = Bytes::from(vec![9u8; 10_000]);
         let run = execute(&mut p, &clock, &spec, payload.clone()).unwrap();
         assert_eq!(run.edges.len(), 2);
-        assert!(run.edges.iter().all(|e| &e.received[..] == &payload[..]));
+        assert!(run.edges.iter().all(|e| e.received[..] == payload[..]));
         assert!(run.total_latency_ns > 0);
     }
 }

@@ -93,7 +93,11 @@ fn find_double_crlf(buf: &[u8]) -> Option<usize> {
 }
 
 /// Decodes a chunked body if complete; returns `(body, consumed)`.
-fn decode_chunked(buf: &[u8]) -> Result<Option<(Bytes, usize)>, HttpError> {
+/// A decoded message body: the bytes plus how much of the input buffer
+/// they consumed (chunked framing included).
+type DecodedBody = (Bytes, usize);
+
+fn decode_chunked(buf: &[u8]) -> Result<Option<DecodedBody>, HttpError> {
     let mut body = BytesMut::new();
     let mut pos = 0usize;
     loop {
@@ -142,7 +146,7 @@ impl MessageReader {
         self.buf.len()
     }
 
-    fn try_head(&self) -> Result<Option<(Head, Option<(Bytes, usize)>)>, HttpError> {
+    fn try_head(&self) -> Result<Option<(Head, Option<DecodedBody>)>, HttpError> {
         let Some(head) = parse_head(&self.buf)? else {
             return Ok(None);
         };

@@ -11,8 +11,12 @@
 //!   they decide.
 //! * [`deploy`] — live instances bound to nodes, with co-location
 //!   queries.
-//! * [`workflow`] — the invocation patterns of the evaluation (sequence,
-//!   fan-out, fan-in) executed over a pluggable [`workflow::DataPlane`].
+//! * [`dag`] — first-class workflow DAGs (named nodes, payload-carrying
+//!   edges, cycle/connectivity validation) generalizing the paper's
+//!   sequence/fan-out/fan-in shapes.
+//! * [`workflow`] — the execution engines over a pluggable
+//!   [`workflow::DataPlane`]: a serial engine and a discrete-event
+//!   concurrent engine that overlaps independent edges in virtual time.
 //! * [`metrics`] — sample collection and summaries for the harness.
 //!
 //! ```
@@ -36,6 +40,7 @@
 //! ```
 
 pub mod bundle;
+pub mod dag;
 pub mod deploy;
 pub mod error;
 pub mod metrics;
@@ -44,9 +49,13 @@ pub mod scheduler;
 pub mod workflow;
 
 pub use bundle::{BundleKind, FunctionBundle, Manifest};
+pub use dag::WorkflowDag;
 pub use deploy::{DeployedFunction, Deployment};
 pub use error::PlatformError;
 pub use metrics::{MetricsCollector, Sample, Summary};
 pub use registry::FunctionRegistry;
 pub use scheduler::{Pinned, Placement, RoundRobin, Scheduler};
-pub use workflow::{execute, DataPlane, EdgeResult, Pattern, WorkflowRun, WorkflowSpec};
+pub use workflow::{
+    critical_path_ns, execute, execute_concurrent, DataPlane, EdgeResult, TransferTiming,
+    WorkflowRun, WorkflowSpec,
+};

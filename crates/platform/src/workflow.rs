@@ -1,136 +1,178 @@
-//! Workflow specifications and the execution engine.
+//! Workflow specifications and the execution engines.
 //!
 //! The paper evaluates the "most common invocation patterns" —
 //! sequential chains, fan-out and fan-in (§6.1, citing the Berkeley
-//! view). A [`WorkflowSpec`] names the pattern; [`execute`] drives the
-//! transfers through whatever [`DataPlane`] the embedder provides
-//! (Roadrunner's shim modes, or a baseline's HTTP path), recording
-//! per-edge latency from the shared virtual clock.
+//! view). This module generalizes those shapes into arbitrary DAGs
+//! ([`WorkflowDag`]): a [`WorkflowSpec`] names the graph, and two engines
+//! drive the transfers through whatever [`DataPlane`] the embedder
+//! provides (Roadrunner's shim modes, or a baseline's HTTP path):
+//!
+//! * [`execute`] — the serial engine: edges run one after another in
+//!   virtual time, each timed from the shared clock. Deterministic and
+//!   exactly what the paper's single-edge figures measure.
+//! * [`execute_concurrent`] — the discrete-event engine: independent
+//!   edges overlap in virtual time while per-resource timelines
+//!   ([`roadrunner_vkernel::sched`]) serialize contended cores and the
+//!   shared link. Its makespan is bounded below by the DAG's critical
+//!   path ([`critical_path_ns`]) and above by the serial total.
 
 use bytes::Bytes;
+use roadrunner_vkernel::sched::{EventQueue, SchedResources};
 use roadrunner_vkernel::{Nanos, VirtualClock};
 
+use crate::dag::WorkflowDag;
 use crate::error::PlatformError;
 
-/// Invocation pattern of a workflow.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Pattern {
-    /// `f1 → f2 → … → fn`: each function's output feeds the next.
-    Sequence(Vec<String>),
-    /// One source delivers the same payload to every target.
-    Fanout {
-        /// Producing function.
-        source: String,
-        /// Consuming functions.
-        targets: Vec<String>,
-    },
-    /// Every source delivers its payload to one target.
-    FanIn {
-        /// Producing functions.
-        sources: Vec<String>,
-        /// Consuming function.
-        target: String,
-    },
-}
-
-/// A named, tenant-scoped workflow.
+/// A named, tenant-scoped workflow over a function DAG.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkflowSpec {
     /// Workflow name (used in bundle annotations).
     pub name: String,
     /// Owning tenant (Roadrunner's trust boundary).
     pub tenant: String,
-    /// The invocation pattern.
-    pub pattern: Pattern,
+    /// The invocation graph.
+    pub dag: WorkflowDag,
 }
 
 impl WorkflowSpec {
-    /// Creates a sequential chain.
+    /// Wraps an explicit DAG.
+    pub fn from_dag(
+        name: impl Into<String>,
+        tenant: impl Into<String>,
+        dag: WorkflowDag,
+    ) -> Self {
+        Self { name: name.into(), tenant: tenant.into(), dag }
+    }
+
+    /// Creates a sequential chain `f1 → f2 → … → fn`.
     pub fn sequence(
         name: impl Into<String>,
         tenant: impl Into<String>,
         functions: impl IntoIterator<Item = String>,
     ) -> Self {
-        Self {
-            name: name.into(),
-            tenant: tenant.into(),
-            pattern: Pattern::Sequence(functions.into_iter().collect()),
+        let mut dag = WorkflowDag::new();
+        let mut prev: Option<String> = None;
+        for f in functions {
+            match prev.take() {
+                None => {
+                    dag.add_node(&f);
+                }
+                Some(p) => {
+                    dag.add_edge(&p, &f);
+                }
+            }
+            prev = Some(f);
         }
+        Self::from_dag(name, tenant, dag)
     }
 
-    /// Creates a fan-out.
+    /// Creates a fan-out: one source delivers to every target.
     pub fn fanout(
         name: impl Into<String>,
         tenant: impl Into<String>,
         source: impl Into<String>,
         targets: impl IntoIterator<Item = String>,
     ) -> Self {
-        Self {
-            name: name.into(),
-            tenant: tenant.into(),
-            pattern: Pattern::Fanout {
-                source: source.into(),
-                targets: targets.into_iter().collect(),
-            },
+        let source = source.into();
+        let mut dag = WorkflowDag::new();
+        dag.add_node(&source);
+        for t in targets {
+            dag.add_edge(&source, &t);
         }
+        Self::from_dag(name, tenant, dag)
     }
 
-    /// All functions referenced by the pattern, in order, without
-    /// duplicates.
+    /// Creates a fan-in: every source delivers to one target.
+    pub fn fan_in(
+        name: impl Into<String>,
+        tenant: impl Into<String>,
+        sources: impl IntoIterator<Item = String>,
+        target: impl Into<String>,
+    ) -> Self {
+        let target = target.into();
+        let mut dag = WorkflowDag::new();
+        for s in sources {
+            dag.add_edge(&s, &target);
+        }
+        Self::from_dag(name, tenant, dag)
+    }
+
+    /// All functions referenced by the workflow, in first-appearance
+    /// order, without duplicates (the DAG interns names through a hash
+    /// guard, so this is O(n), not the old O(n²) scan).
     pub fn functions(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = Vec::new();
-        let mut names: Vec<&str> = Vec::new();
-        match &self.pattern {
-            Pattern::Sequence(fs) => names.extend(fs.iter().map(String::as_str)),
-            Pattern::Fanout { source, targets } => {
-                names.push(source);
-                names.extend(targets.iter().map(String::as_str));
-            }
-            Pattern::FanIn { sources, target } => {
-                names.extend(sources.iter().map(String::as_str));
-                names.push(target);
-            }
-        }
-        for n in names {
-            if !out.contains(&n) {
-                out.push(n);
-            }
-        }
-        out
+        self.dag.nodes().collect()
     }
 
-    /// Checks structural validity (enough functions for the pattern).
+    /// Checks structural validity (delegates to
+    /// [`WorkflowDag::validate`]: at least one edge, acyclic, connected).
     ///
     /// # Errors
     ///
     /// [`PlatformError::InvalidWorkflow`] describing the problem.
     pub fn validate(&self) -> Result<(), PlatformError> {
-        match &self.pattern {
-            Pattern::Sequence(fs) if fs.len() < 2 => Err(PlatformError::InvalidWorkflow(
-                "a sequence needs at least two functions".into(),
-            )),
-            Pattern::Fanout { targets, .. } if targets.is_empty() => Err(
-                PlatformError::InvalidWorkflow("a fan-out needs at least one target".into()),
-            ),
-            Pattern::FanIn { sources, .. } if sources.is_empty() => Err(
-                PlatformError::InvalidWorkflow("a fan-in needs at least one source".into()),
-            ),
-            _ => Ok(()),
-        }
+        self.dag.validate()
+    }
+}
+
+/// Per-phase timing of one transfer, as attributed by the plane.
+///
+/// * `prepare_ns` — input delivery plus source handler execution;
+/// * `transfer_ns` — payload movement proper (the paper's transfer
+///   latency; wire occupancy for inter-node edges);
+/// * `consume_ns` — target handler execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferTiming {
+    /// Source-side preparation (charged to the source node's CPU).
+    pub prepare_ns: Nanos,
+    /// The transfer proper (link occupancy when the edge crosses nodes).
+    pub transfer_ns: Nanos,
+    /// Target-side consumption (charged to the target node's CPU).
+    pub consume_ns: Nanos,
+}
+
+impl TransferTiming {
+    /// Everything, end to end.
+    pub fn total_ns(&self) -> Nanos {
+        self.prepare_ns + self.transfer_ns + self.consume_ns
     }
 }
 
 /// The transport a workflow runs over: Roadrunner's shim modes or a
-/// baseline's HTTP path. `transfer` moves `payload` from `from` to `to`
-/// and returns the bytes as the target function received them.
+/// baseline's HTTP path.
 pub trait DataPlane {
-    /// Delivers `payload` from function `from` to function `to`.
+    /// Delivers `payload` from function `from` to function `to` and
+    /// returns the bytes as the target received them.
     ///
     /// # Errors
     ///
     /// [`PlatformError::Transfer`] (or any other variant) when delivery
     /// fails.
     fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError>;
+
+    /// Like [`transfer`](Self::transfer), additionally attributing the
+    /// edge's cost to prepare/transfer/consume phases. Planes that cannot
+    /// attribute return `None`; the engines then treat the whole measured
+    /// duration as transfer time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`transfer`](Self::transfer).
+    fn transfer_detailed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        self.transfer(from, to, payload).map(|received| (received, None))
+    }
+
+    /// Node index `function` is placed on, for resource attribution in
+    /// the concurrent engine. `None` (the default) schedules everything
+    /// on node 0.
+    fn placement(&self, _function: &str) -> Option<usize> {
+        None
+    }
 }
 
 /// Timing and integrity record for one workflow edge.
@@ -142,8 +184,15 @@ pub struct EdgeResult {
     pub to: String,
     /// Payload size in bytes.
     pub bytes: usize,
-    /// Virtual time the transfer took.
+    /// Busy virtual time the transfer itself took (excludes any
+    /// contention wait in the concurrent engine).
     pub latency_ns: Nanos,
+    /// When the edge started, relative to the run's start.
+    pub start_ns: Nanos,
+    /// When the edge completed, relative to the run's start. In the
+    /// concurrent engine `finish_ns - start_ns` can exceed `latency_ns`
+    /// when the edge waited for a contended resource mid-flight.
+    pub finish_ns: Nanos,
     /// The payload as received (reference-counted; cheap to hold).
     pub received: Bytes,
 }
@@ -160,7 +209,8 @@ impl EdgeResult {
 pub struct WorkflowRun {
     /// Per-edge results in execution order.
     pub edges: Vec<EdgeResult>,
-    /// Virtual time from first send to last receive.
+    /// Virtual time from first send to last receive: the serial sum for
+    /// [`execute`], the overlapped makespan for [`execute_concurrent`].
     pub total_latency_ns: Nanos,
 }
 
@@ -169,14 +219,54 @@ impl WorkflowRun {
     pub fn total_bytes(&self) -> usize {
         self.edges.iter().map(|e| e.bytes).sum()
     }
+
+    /// The result of edge `from → to`, if it ran.
+    pub fn edge(&self, from: &str, to: &str) -> Option<&EdgeResult> {
+        self.edges.iter().find(|e| e.from == from && e.to == to)
+    }
+
+    /// Sum of per-edge busy times — what a fully serialized schedule of
+    /// these edges would cost.
+    pub fn serialized_ns(&self) -> Nanos {
+        self.edges.iter().map(|e| e.latency_ns).sum()
+    }
 }
 
-/// Executes `spec` over `plane`, timing each edge on `clock`.
+/// The DAG's critical path under `run`'s measured per-edge busy times —
+/// the lower bound no concurrent schedule of this workflow can beat.
 ///
-/// Fan-out/fan-in branches are executed one after another in virtual
-/// time; contended-parallel timing for the scalability figures comes from
-/// [`roadrunner_vkernel::pipeline::run_fanout`], which models core and
-/// link sharing analytically.
+/// # Errors
+///
+/// [`PlatformError::InvalidWorkflow`] if `spec`'s graph is cyclic, or if
+/// `run` is missing an edge of the graph (i.e. it came from a different
+/// spec).
+pub fn critical_path_ns(spec: &WorkflowSpec, run: &WorkflowRun) -> Result<Nanos, PlatformError> {
+    for (u, v) in spec.dag.edges() {
+        let (from, to) = (spec.dag.node_name(u), spec.dag.node_name(v));
+        if run.edge(from, to).is_none() {
+            return Err(PlatformError::InvalidWorkflow(format!(
+                "run has no result for edge `{from}` -> `{to}`; was it produced by this spec?"
+            )));
+        }
+    }
+    spec.dag.critical_path_ns(|u, v| {
+        run.edge(spec.dag.node_name(u), spec.dag.node_name(v))
+            .map(|e| e.latency_ns)
+            .unwrap_or(0)
+    })
+}
+
+/// Executes `spec` serially over `plane`, timing each edge on `clock`.
+///
+/// Edges run one after another in topological order (for the legacy
+/// sequence/fan-out/fan-in shapes this is exactly the old pattern
+/// engine's order, so measured numbers are unchanged). Genuinely
+/// overlapping execution is [`execute_concurrent`]'s job.
+///
+/// Each root receives the initial `payload`; every edge forwards its
+/// source's current payload, and a node's payload is the first delivery
+/// it receives (identical to every other delivery on integrity-preserving
+/// planes).
 ///
 /// # Errors
 ///
@@ -188,53 +278,132 @@ pub fn execute(
     payload: Bytes,
 ) -> Result<WorkflowRun, PlatformError> {
     spec.validate()?;
+    let dag = &spec.dag;
     let started = clock.now();
-    let mut edges = Vec::new();
-    match &spec.pattern {
-        Pattern::Sequence(fs) => {
-            let mut current = payload;
-            for pair in fs.windows(2) {
-                let (from, to) = (&pair[0], &pair[1]);
-                let t0 = clock.now();
-                let received = plane.transfer(from, to, current.clone())?;
-                edges.push(EdgeResult {
-                    from: from.clone(),
-                    to: to.clone(),
-                    bytes: current.len(),
-                    latency_ns: clock.now() - t0,
-                    received: received.clone(),
-                });
-                current = received;
-            }
+    let mut node_payload: Vec<Option<Bytes>> = vec![None; dag.node_count()];
+    for root in dag.roots() {
+        node_payload[root] = Some(payload.clone());
+    }
+    let mut edges = Vec::with_capacity(dag.edge_count());
+    for (u, v) in dag.topo_edges()? {
+        let current = node_payload[u].clone().expect("topo order delivers inputs first");
+        let (from, to) = (dag.node_name(u), dag.node_name(v));
+        let t0 = clock.now();
+        let received = plane.transfer(from, to, current.clone())?;
+        let t1 = clock.now();
+        if node_payload[v].is_none() {
+            node_payload[v] = Some(received.clone());
         }
-        Pattern::Fanout { source, targets } => {
-            for target in targets {
-                let t0 = clock.now();
-                let received = plane.transfer(source, target, payload.clone())?;
-                edges.push(EdgeResult {
-                    from: source.clone(),
-                    to: target.clone(),
-                    bytes: payload.len(),
-                    latency_ns: clock.now() - t0,
-                    received,
-                });
+        edges.push(EdgeResult {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            bytes: current.len(),
+            latency_ns: t1 - t0,
+            start_ns: t0 - started,
+            finish_ns: t1 - started,
+            received,
+        });
+    }
+    Ok(WorkflowRun { edges, total_latency_ns: clock.now() - started })
+}
+
+/// Executes `spec` over `plane` with the discrete-event engine:
+/// independent edges overlap in virtual time, contended resources
+/// serialize.
+///
+/// Every edge still *really* runs on the plane (payload bytes move, CPU
+/// accounts are charged, the shared clock advances as it measures), in
+/// deterministic event order. The engine then places each edge's
+/// prepare/transfer/consume phases onto `resources`' timelines — prepare
+/// on the source node's cores, the transfer proper on the shared link for
+/// inter-node edges (or the source cores for co-located ones), consume on
+/// the target node's cores — and reports the overlapped makespan as
+/// `total_latency_ns`. An edge becomes ready the instant all of its
+/// target's inputs exist; readiness events drain through a deterministic
+/// [`EventQueue`].
+///
+/// The returned makespan satisfies
+/// `critical_path ≤ total_latency_ns ≤ serialized sum`.
+///
+/// # Errors
+///
+/// Propagates validation and transfer errors.
+pub fn execute_concurrent(
+    plane: &mut dyn DataPlane,
+    clock: &VirtualClock,
+    spec: &WorkflowSpec,
+    payload: Bytes,
+    resources: &mut SchedResources,
+) -> Result<WorkflowRun, PlatformError> {
+    spec.validate()?;
+    let dag = &spec.dag;
+    let n = dag.node_count();
+    let mut pending = dag.in_degrees();
+    let mut node_payload: Vec<Option<Bytes>> = vec![None; n];
+    let mut node_ready: Vec<Nanos> = vec![0; n];
+    let mut queue = EventQueue::new();
+    for root in dag.roots() {
+        node_payload[root] = Some(payload.clone());
+        queue.push(0, root);
+    }
+    let mut edges = Vec::with_capacity(dag.edge_count());
+    let mut makespan: Nanos = 0;
+    while let Some((ready_ns, u)) = queue.pop() {
+        for &v in dag.successors(u) {
+            let current = node_payload[u].clone().expect("events fire after inputs exist");
+            let (from, to) = (dag.node_name(u).to_owned(), dag.node_name(v).to_owned());
+            let t0 = clock.now();
+            let (received, timing) = plane.transfer_detailed(&from, &to, current.clone())?;
+            let measured = clock.now() - t0;
+            let timing = timing.unwrap_or(TransferTiming {
+                prepare_ns: 0,
+                transfer_ns: measured,
+                consume_ns: 0,
+            });
+            let src = plane.placement(&from).unwrap_or(0);
+            let dst = plane.placement(&to).unwrap_or(0);
+
+            // Place the three phases, in order, on their resources.
+            let p_start = resources.cpu(src).reserve(ready_ns, timing.prepare_ns);
+            let p_end = p_start + timing.prepare_ns;
+            let t_start = if src == dst {
+                resources.cpu(src).reserve(p_end, timing.transfer_ns)
+            } else {
+                resources.link().reserve(p_end, timing.transfer_ns)
+            };
+            let t_end = t_start + timing.transfer_ns;
+            let c_start = resources.cpu(dst).reserve(t_end, timing.consume_ns);
+            let finish = c_start + timing.consume_ns;
+            // The edge starts where its first nonzero phase was granted.
+            let start = if timing.prepare_ns > 0 {
+                p_start
+            } else if timing.transfer_ns > 0 {
+                t_start
+            } else {
+                c_start
+            };
+            makespan = makespan.max(finish);
+
+            if node_payload[v].is_none() {
+                node_payload[v] = Some(received.clone());
             }
-        }
-        Pattern::FanIn { sources, target } => {
-            for source in sources {
-                let t0 = clock.now();
-                let received = plane.transfer(source, target, payload.clone())?;
-                edges.push(EdgeResult {
-                    from: source.clone(),
-                    to: target.clone(),
-                    bytes: payload.len(),
-                    latency_ns: clock.now() - t0,
-                    received,
-                });
+            edges.push(EdgeResult {
+                from,
+                to,
+                bytes: current.len(),
+                latency_ns: timing.total_ns(),
+                start_ns: start,
+                finish_ns: finish,
+                received,
+            });
+            node_ready[v] = node_ready[v].max(finish);
+            pending[v] -= 1;
+            if pending[v] == 0 && !dag.successors(v).is_empty() {
+                queue.push(node_ready[v], v);
             }
         }
     }
-    Ok(WorkflowRun { edges, total_latency_ns: clock.now() - started })
+    Ok(WorkflowRun { edges, total_latency_ns: makespan })
 }
 
 pub(crate) fn fnv1a(data: &[u8]) -> u64 {
@@ -251,7 +420,7 @@ mod tests {
     use super::*;
 
     /// A plane that passes payloads through unchanged, charging 1 µs per
-    /// edge plus 1 ns per byte.
+    /// edge plus 1 ns per byte, and reporting a breakdown.
     struct PassThrough {
         clock: VirtualClock,
     }
@@ -265,6 +434,17 @@ mod tests {
         ) -> Result<Bytes, PlatformError> {
             self.clock.advance(1_000 + payload.len() as u64);
             Ok(payload)
+        }
+
+        fn transfer_detailed(
+            &mut self,
+            from: &str,
+            to: &str,
+            payload: Bytes,
+        ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+            let transfer_ns = 1_000 + payload.len() as u64;
+            let received = self.transfer(from, to, payload)?;
+            Ok((received, Some(TransferTiming { prepare_ns: 0, transfer_ns, consume_ns: 0 })))
         }
     }
 
@@ -284,6 +464,9 @@ mod tests {
         assert_eq!(run.total_bytes(), 200);
         assert_eq!(run.total_latency_ns, 2 * (1_000 + 100));
         assert_eq!(run.edges[0].checksum(), run.edges[1].checksum());
+        // Serial schedule: edges back to back.
+        assert_eq!(run.edges[0].start_ns, 0);
+        assert_eq!(run.edges[1].start_ns, run.edges[0].finish_ns);
     }
 
     #[test]
@@ -301,14 +484,12 @@ mod tests {
     fn fanin_collects_from_every_source() {
         let clock = VirtualClock::new();
         let mut plane = PassThrough { clock: clock.clone() };
-        let spec = WorkflowSpec {
-            name: "wf".into(),
-            tenant: "acme".into(),
-            pattern: Pattern::FanIn {
-                sources: vec!["s1".into(), "s2".into()],
-                target: "sink".into(),
-            },
-        };
+        let spec = WorkflowSpec::fan_in(
+            "wf",
+            "acme",
+            ["s1".to_owned(), "s2".to_owned()],
+            "sink",
+        );
         let run = execute(&mut plane, &clock, &spec, Bytes::from_static(b"z")).unwrap();
         assert_eq!(run.edges.len(), 2);
         assert!(run.edges.iter().all(|e| e.to == "sink"));
@@ -325,6 +506,15 @@ mod tests {
         ));
         let spec = WorkflowSpec::fanout("wf", "t", "src", Vec::<String>::new());
         assert!(spec.validate().is_err());
+        let spec = WorkflowSpec::fan_in("wf", "t", Vec::<String>::new(), "sink");
+        assert!(spec.validate().is_err());
+        // A sequence that revisits a function is a cycle now.
+        let spec = WorkflowSpec::sequence(
+            "wf",
+            "t",
+            ["a".to_owned(), "b".to_owned(), "a".to_owned()],
+        );
+        assert!(spec.validate().is_err());
     }
 
     #[test]
@@ -337,6 +527,13 @@ mod tests {
         assert_eq!(spec.functions(), vec!["a", "b"]);
         let spec = WorkflowSpec::fanout("wf", "t", "s", vec!["x".to_owned(), "y".to_owned()]);
         assert_eq!(spec.functions(), vec!["s", "x", "y"]);
+        let spec = WorkflowSpec::fan_in(
+            "wf",
+            "t",
+            ["s1".to_owned(), "s2".to_owned()],
+            "sink",
+        );
+        assert_eq!(spec.functions(), vec!["s1", "sink", "s2"]);
     }
 
     #[test]
@@ -354,5 +551,203 @@ mod tests {
             execute(&mut Failing, &clock, &spec, Bytes::new()),
             Err(PlatformError::Transfer(_))
         ));
+        let mut res = SchedResources::new(1, 4);
+        assert!(matches!(
+            execute_concurrent(&mut Failing, &clock, &spec, Bytes::new(), &mut res),
+            Err(PlatformError::Transfer(_))
+        ));
+    }
+
+    fn diamond_spec() -> WorkflowSpec {
+        let mut dag = WorkflowDag::new();
+        dag.add_edge("a", "b").add_edge("a", "c").add_edge("b", "d").add_edge("c", "d");
+        WorkflowSpec::from_dag("diamond", "t", dag)
+    }
+
+    #[test]
+    fn concurrent_diamond_overlaps_but_respects_critical_path() {
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let spec = diamond_spec();
+        let payload = Bytes::from(vec![1u8; 10_000]);
+        let mut res = SchedResources::new(1, 4);
+        let run = execute_concurrent(&mut plane, &clock, &spec, payload, &mut res).unwrap();
+        assert_eq!(run.edges.len(), 4);
+        let per_edge = 1_000 + 10_000;
+        // Branches overlap: both a->b and a->c start at 0.
+        assert_eq!(run.edge("a", "b").unwrap().start_ns, 0);
+        assert_eq!(run.edge("a", "c").unwrap().start_ns, 0);
+        // Two levels of two overlapped edges each.
+        assert_eq!(run.total_latency_ns, 2 * per_edge);
+        assert!(run.total_latency_ns < run.serialized_ns());
+        let cp = critical_path_ns(&spec, &run).unwrap();
+        assert_eq!(cp, 2 * per_edge);
+        assert!(run.total_latency_ns >= cp);
+    }
+
+    #[test]
+    fn concurrent_serializes_on_capacity_one_cpu() {
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let spec = diamond_spec();
+        let payload = Bytes::from(vec![1u8; 10_000]);
+        let mut res = SchedResources::new(1, 1);
+        let run = execute_concurrent(&mut plane, &clock, &spec, payload, &mut res).unwrap();
+        // One lane: nothing overlaps, makespan equals the serial sum.
+        assert_eq!(run.total_latency_ns, run.serialized_ns());
+    }
+
+    #[test]
+    fn serial_and_concurrent_agree_on_payload_integrity() {
+        let spec = diamond_spec();
+        let payload = Bytes::from(vec![9u8; 5_000]);
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let serial = execute(&mut plane, &clock, &spec, payload.clone()).unwrap();
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let mut res = SchedResources::new(1, 4);
+        let conc = execute_concurrent(&mut plane, &clock, &spec, payload, &mut res).unwrap();
+        assert_eq!(serial.edges.len(), conc.edges.len());
+        for e in &serial.edges {
+            let c = conc.edge(&e.from, &e.to).unwrap();
+            assert_eq!(e.bytes, c.bytes);
+            assert_eq!(e.checksum(), c.checksum());
+        }
+        assert!(conc.total_latency_ns <= serial.total_latency_ns);
+    }
+
+    #[test]
+    fn concurrent_inter_node_edges_contend_on_the_link() {
+        // Planes that place functions on two nodes route transfer time
+        // through the capacity-1 link: a 2-branch fan-out can't halve.
+        struct TwoNode {
+            clock: VirtualClock,
+        }
+        impl DataPlane for TwoNode {
+            fn transfer(&mut self, _: &str, _: &str, p: Bytes) -> Result<Bytes, PlatformError> {
+                self.clock.advance(1_000);
+                Ok(p)
+            }
+            fn transfer_detailed(
+                &mut self,
+                f: &str,
+                t: &str,
+                p: Bytes,
+            ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+                let received = self.transfer(f, t, p)?;
+                Ok((
+                    received,
+                    Some(TransferTiming { prepare_ns: 0, transfer_ns: 1_000, consume_ns: 0 }),
+                ))
+            }
+            fn placement(&self, function: &str) -> Option<usize> {
+                Some(usize::from(function != "src"))
+            }
+        }
+        let clock = VirtualClock::new();
+        let mut plane = TwoNode { clock: clock.clone() };
+        let spec = WorkflowSpec::fanout(
+            "wf",
+            "t",
+            "src",
+            (0..4).map(|i| format!("t{i}")).collect::<Vec<_>>(),
+        );
+        let mut res = SchedResources::new(2, 4);
+        let run =
+            execute_concurrent(&mut plane, &clock, &spec, Bytes::from_static(b"x"), &mut res)
+                .unwrap();
+        // All four transfers queue on the single link.
+        assert_eq!(run.total_latency_ns, 4_000);
+    }
+
+    #[test]
+    fn critical_path_rejects_a_run_from_another_spec() {
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let spec = WorkflowSpec::sequence("wf", "t", ["a".to_owned(), "b".to_owned()]);
+        let run = execute(&mut plane, &clock, &spec, Bytes::from_static(b"x")).unwrap();
+        let other = diamond_spec();
+        assert!(matches!(
+            critical_path_ns(&other, &run),
+            Err(PlatformError::InvalidWorkflow(_))
+        ));
+        assert!(critical_path_ns(&spec, &run).is_ok());
+    }
+
+    #[test]
+    fn consume_only_edges_anchor_start_at_the_consume_phase() {
+        // A plane whose whole cost is target-side consumption: the edge's
+        // reported start must be where the consume phase was granted, not
+        // the (free) ready time.
+        struct ConsumeOnly {
+            clock: VirtualClock,
+        }
+        impl DataPlane for ConsumeOnly {
+            fn transfer(&mut self, _: &str, _: &str, p: Bytes) -> Result<Bytes, PlatformError> {
+                self.clock.advance(1_000);
+                Ok(p)
+            }
+            fn transfer_detailed(
+                &mut self,
+                f: &str,
+                t: &str,
+                p: Bytes,
+            ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+                let received = self.transfer(f, t, p)?;
+                Ok((
+                    received,
+                    Some(TransferTiming { prepare_ns: 0, transfer_ns: 0, consume_ns: 1_000 }),
+                ))
+            }
+        }
+        let clock = VirtualClock::new();
+        let mut plane = ConsumeOnly { clock: clock.clone() };
+        let spec = WorkflowSpec::fanout(
+            "wf",
+            "t",
+            "s",
+            (0..2).map(|i| format!("t{i}")).collect::<Vec<_>>(),
+        );
+        // One lane: the second edge's consume phase queues behind the
+        // first, so its start slides to 1_000.
+        let mut res = SchedResources::new(1, 1);
+        let run =
+            execute_concurrent(&mut plane, &clock, &spec, Bytes::from_static(b"x"), &mut res)
+                .unwrap();
+        assert_eq!(run.edge("s", "t0").unwrap().start_ns, 0);
+        assert_eq!(run.edge("s", "t1").unwrap().start_ns, 1_000);
+        assert_eq!(run.edge("s", "t1").unwrap().finish_ns, 2_000);
+    }
+
+    #[test]
+    fn default_transfer_detailed_reports_no_breakdown() {
+        struct Plain {
+            clock: VirtualClock,
+        }
+        impl DataPlane for Plain {
+            fn transfer(&mut self, _: &str, _: &str, p: Bytes) -> Result<Bytes, PlatformError> {
+                self.clock.advance(500);
+                Ok(p)
+            }
+        }
+        let clock = VirtualClock::new();
+        let mut plane = Plain { clock: clock.clone() };
+        let (received, timing) =
+            plane.transfer_detailed("a", "b", Bytes::from_static(b"q")).unwrap();
+        assert_eq!(&received[..], b"q");
+        assert!(timing.is_none());
+        // The concurrent engine falls back to the measured duration.
+        let spec = WorkflowSpec::sequence("wf", "t", ["a".to_owned(), "b".to_owned()]);
+        let mut res = SchedResources::new(1, 4);
+        let run = execute_concurrent(
+            &mut plane,
+            &clock,
+            &spec,
+            Bytes::from_static(b"q"),
+            &mut res,
+        )
+        .unwrap();
+        assert_eq!(run.total_latency_ns, 500);
     }
 }

@@ -30,6 +30,9 @@ pub enum PayloadKind {
     SensorRecords,
     /// An opaque image frame — ML-based image processing.
     ImageFrame,
+    /// Pre-flattened bytes of unknown provenance (a workflow edge's raw
+    /// payload entering a baseline); see [`Payload::opaque`].
+    Opaque,
 }
 
 impl std::fmt::Display for PayloadKind {
@@ -38,6 +41,7 @@ impl std::fmt::Display for PayloadKind {
             PayloadKind::Text => "text",
             PayloadKind::SensorRecords => "sensor-records",
             PayloadKind::ImageFrame => "image-frame",
+            PayloadKind::Opaque => "opaque",
         };
         f.write_str(name)
     }
@@ -68,6 +72,8 @@ impl Payload {
             PayloadKind::Text => Self::text(seed, size),
             PayloadKind::SensorRecords => Self::sensor_records(seed, size),
             PayloadKind::ImageFrame => Self::image_frame(seed, size),
+            // Synthetic opaque data is indistinguishable from a frame.
+            PayloadKind::Opaque => Payload { kind, ..Self::image_frame(seed, size) },
         }
     }
 
@@ -141,6 +147,24 @@ impl Payload {
         let flat = Bytes::from(buf);
         Payload {
             kind: PayloadKind::ImageFrame,
+            value: Value::Bytes(flat.clone()),
+            flat,
+        }
+    }
+
+    /// Wraps pre-flattened bytes as an opaque payload: the structured
+    /// form is a single [`Value::Bytes`] blob. This is how a workflow
+    /// edge's raw bytes enter a baseline that must (de)serialize them.
+    ///
+    /// ```
+    /// # use bytes::Bytes;
+    /// # use roadrunner_serial::payload::Payload;
+    /// let p = Payload::opaque(Bytes::from_static(b"\x01\x02"));
+    /// assert_eq!(p.flat().len(), 2);
+    /// ```
+    pub fn opaque(flat: Bytes) -> Self {
+        Payload {
+            kind: PayloadKind::Opaque,
             value: Value::Bytes(flat.clone()),
             flat,
         }

@@ -10,9 +10,10 @@ use bytes::Bytes;
 ///
 /// Maps preserve insertion order so encoding is deterministic, which keeps
 /// the benchmark harness reproducible run-to-run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Value {
     /// The absent value.
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -150,12 +151,6 @@ impl Value {
             Value::Map(entries) => 1 + entries.iter().map(|(_, v)| v.node_count()).sum::<usize>(),
             _ => 1,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

@@ -30,6 +30,10 @@
 //!   whether transfer stages overlap (tokio-style streaming in RunC and in
 //!   Roadrunner shims) or execute strictly sequentially (the
 //!   single-threaded WasmEdge guest).
+//! * [`sched`] — discrete-event scheduling primitives (per-resource
+//!   timelines, a deterministic event queue) that let the platform's DAG
+//!   executor overlap independent workflow edges in virtual time while
+//!   contended cores and links serialize.
 //! * [`node`] / [`testbed`] — hosts, sandboxes and links wired into the
 //!   paper's topology.
 //!
@@ -54,6 +58,7 @@ pub mod net;
 pub mod node;
 pub mod pipe;
 pub mod pipeline;
+pub mod sched;
 pub mod tcp;
 pub mod testbed;
 pub mod unix;
@@ -65,6 +70,7 @@ pub use error::VkError;
 pub use net::Link;
 pub use node::Node;
 pub use pipeline::{Overlap, Space, Stage, TransferOutcome};
+pub use sched::{EventQueue, SchedResources, Timeline};
 pub use testbed::Testbed;
 
 /// Virtual time in nanoseconds.

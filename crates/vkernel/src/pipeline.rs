@@ -258,7 +258,7 @@ pub fn run_fanout(
 
 fn chunk_sizes_len(total_bytes: usize, chunk_bytes: usize) -> usize {
     let full = total_bytes / chunk_bytes;
-    if total_bytes % chunk_bytes > 0 || total_bytes == 0 {
+    if !total_bytes.is_multiple_of(chunk_bytes) || total_bytes == 0 {
         full + 1
     } else {
         full

@@ -1,0 +1,372 @@
+//! Discrete-event scheduling primitives over the virtual clock.
+//!
+//! The workflow engine above (`roadrunner-platform`) executes arbitrary
+//! DAGs: independent edges genuinely overlap in virtual time while
+//! contended resources — a node's cores, the shared WAN link — serialize
+//! the work placed on them. This module provides the three pieces that
+//! schedule needs:
+//!
+//! * [`Timeline`] — one resource of integral capacity `c` (a 4-core CPU
+//!   is a capacity-4 timeline, the WAN link capacity 1). Reservations are
+//!   placed greedily on the earliest-free lane, the classic list-scheduler
+//!   discipline.
+//! * [`EventQueue`] — a deterministic min-heap of timed events. Ties are
+//!   broken by insertion order, so identical runs replay identically.
+//! * [`SchedResources`] — the timelines of a whole testbed (per-node CPU
+//!   plus the shared inter-node link), ready for the executor to reserve
+//!   against.
+//!
+//! All times are **relative** virtual nanoseconds: the executor measures
+//! real per-edge costs against the shared [`VirtualClock`](crate::VirtualClock)
+//! (every payload byte still moves), then replays those durations onto the
+//! timelines to find the overlapped completion time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::testbed::Testbed;
+use crate::Nanos;
+
+/// One schedulable resource of fixed capacity.
+///
+/// A capacity-`c` timeline holds `c` lanes; a reservation occupies one
+/// lane for its duration. [`Timeline::reserve`] grants the earliest start
+/// no earlier than the caller's ready time — contention shows up as the
+/// granted start sliding past it.
+///
+/// ```
+/// # use roadrunner_vkernel::sched::Timeline;
+/// let mut link = Timeline::new("wan", 1);
+/// assert_eq!(link.reserve(0, 100), 0);   // link free: starts at once
+/// assert_eq!(link.reserve(0, 100), 100); // second transfer queues
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    label: String,
+    lanes: Vec<Nanos>,
+}
+
+impl Timeline {
+    /// Creates a resource with `capacity` parallel lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(label: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "a resource needs at least one lane");
+        Self { label: label.into(), lanes: vec![0; capacity] }
+    }
+
+    /// The resource's label (for reports and panics).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of parallel lanes.
+    pub fn capacity(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Reserves one lane for `duration` starting no earlier than
+    /// `earliest`; returns the granted start time. A zero-duration
+    /// reservation never blocks and never occupies a lane.
+    pub fn reserve(&mut self, earliest: Nanos, duration: Nanos) -> Nanos {
+        if duration == 0 {
+            return earliest;
+        }
+        // Greedy list scheduling: the earliest-free lane yields the
+        // earliest feasible start (lanes are homogeneous).
+        let lane = self
+            .lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, free)| **free)
+            .map(|(i, _)| i)
+            .expect("capacity checked at construction");
+        let start = self.lanes[lane].max(earliest);
+        self.lanes[lane] = start + duration;
+        start
+    }
+
+    /// Earliest time any lane is free.
+    pub fn free_at(&self) -> Nanos {
+        self.lanes.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Time the last reservation drains.
+    pub fn busy_until(&self) -> Nanos {
+        self.lanes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Clears all reservations.
+    pub fn reset(&mut self) {
+        self.lanes.fill(0);
+    }
+}
+
+struct Event<T> {
+    at: Nanos,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // (FIFO among equals) on top.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events pop in ascending time order; events at the same instant pop in
+/// insertion order, which keeps discrete-event runs bit-for-bit
+/// reproducible.
+///
+/// ```
+/// # use roadrunner_vkernel::sched::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(50, "late");
+/// q.push(10, "early");
+/// q.push(10, "early-second");
+/// assert_eq!(q.pop(), Some((10, "early")));
+/// assert_eq!(q.pop(), Some((10, "early-second")));
+/// assert_eq!(q.pop(), Some((50, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Enqueues `item` to fire at virtual time `at`.
+    pub fn push(&mut self, at: Nanos, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { at, seq, item });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, T)> {
+        self.heap.pop().map(|e| (e.at, e.item))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue").field("len", &self.heap.len()).finish()
+    }
+}
+
+/// The schedulable resources of a testbed: one CPU timeline per node
+/// (capacity = core count) and the shared inter-node link (capacity 1 —
+/// concurrent transfers share its bandwidth by queueing behind each
+/// other, matching [`run_fanout`](crate::pipeline::run_fanout)'s
+/// single-capacity wire).
+#[derive(Debug, Clone)]
+pub struct SchedResources {
+    cpus: Vec<Timeline>,
+    wan: Timeline,
+}
+
+impl SchedResources {
+    /// Resources for `node_count` nodes of `cores` cores each, joined by
+    /// one shared link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` or `cores` is zero.
+    pub fn new(node_count: usize, cores: u32) -> Self {
+        assert!(node_count > 0, "a schedule needs at least one node");
+        let cpus = (0..node_count)
+            .map(|i| Timeline::new(format!("cpu-{i}"), cores as usize))
+            .collect();
+        Self { cpus, wan: Timeline::new("wan", 1) }
+    }
+
+    /// Resources mirroring `testbed`'s topology.
+    pub fn for_testbed(testbed: &Testbed) -> Self {
+        let nodes = testbed.nodes();
+        Self::new(nodes.len(), nodes[0].cores())
+    }
+
+    /// CPU timeline of node `i` (indexes wrap onto the known nodes, so a
+    /// plane that places everything on one logical node still schedules).
+    pub fn cpu(&mut self, node: usize) -> &mut Timeline {
+        let n = self.cpus.len();
+        &mut self.cpus[node % n]
+    }
+
+    /// The link timeline between two distinct nodes.
+    pub fn link(&mut self) -> &mut Timeline {
+        &mut self.wan
+    }
+
+    /// Time the last reservation across all resources drains.
+    pub fn busy_until(&self) -> Nanos {
+        self.cpus
+            .iter()
+            .map(Timeline::busy_until)
+            .chain(std::iter::once(self.wan.busy_until()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Clears all reservations, keeping the topology.
+    pub fn reset(&mut self) {
+        for cpu in &mut self.cpus {
+            cpu.reset();
+        }
+        self.wan.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_overlaps_within_capacity() {
+        let mut cpu = Timeline::new("cpu", 4);
+        for _ in 0..4 {
+            assert_eq!(cpu.reserve(0, 1_000), 0);
+        }
+        // Fifth reservation queues behind the earliest-finishing lane.
+        assert_eq!(cpu.reserve(0, 1_000), 1_000);
+        assert_eq!(cpu.busy_until(), 2_000);
+    }
+
+    #[test]
+    fn timeline_respects_ready_time() {
+        let mut link = Timeline::new("wan", 1);
+        assert_eq!(link.reserve(500, 100), 500);
+        // Free again at 600; an earlier-ready caller still waits.
+        assert_eq!(link.reserve(0, 100), 600);
+        assert_eq!(link.free_at(), 700);
+    }
+
+    #[test]
+    fn zero_duration_reservation_never_blocks() {
+        let mut link = Timeline::new("wan", 1);
+        link.reserve(0, 1_000);
+        assert_eq!(link.reserve(200, 0), 200);
+        assert_eq!(link.busy_until(), 1_000);
+    }
+
+    #[test]
+    fn timeline_reset_clears_lanes() {
+        let mut cpu = Timeline::new("cpu", 2);
+        cpu.reserve(0, 5_000);
+        cpu.reset();
+        assert_eq!(cpu.busy_until(), 0);
+        assert_eq!(cpu.reserve(0, 10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_capacity_panics() {
+        Timeline::new("bad", 0);
+    }
+
+    #[test]
+    fn event_queue_orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a1");
+        q.push(10, "a2");
+        q.push(20, "b");
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![(10, "a1"), (10, "a2"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn event_queue_peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(7, ());
+        q.push(3, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(3));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(7));
+    }
+
+    #[test]
+    fn resources_mirror_testbed_topology() {
+        let bed = Testbed::paper();
+        let mut res = SchedResources::for_testbed(&bed);
+        assert_eq!(res.cpu(0).capacity(), 4);
+        assert_eq!(res.cpu(1).capacity(), 4);
+        assert_eq!(res.link().capacity(), 1);
+    }
+
+    #[test]
+    fn resources_busy_until_spans_everything() {
+        let mut res = SchedResources::new(2, 4);
+        res.cpu(0).reserve(0, 100);
+        res.link().reserve(0, 5_000);
+        res.cpu(1).reserve(0, 300);
+        assert_eq!(res.busy_until(), 5_000);
+        res.reset();
+        assert_eq!(res.busy_until(), 0);
+    }
+
+    #[test]
+    fn cpu_index_wraps_onto_known_nodes() {
+        let mut res = SchedResources::new(2, 4);
+        res.cpu(2).reserve(0, 100); // wraps to node 0
+        assert_eq!(res.cpu(0).busy_until(), 100);
+    }
+
+    #[test]
+    fn contended_link_serializes_independent_transfers() {
+        // Two 8 s transfers on a capacity-1 link take 16 s; on a
+        // capacity-2 CPU they take 8 s — the contention asymmetry behind
+        // the paper's Fig. 9 vs Fig. 10 shapes.
+        let mut res = SchedResources::new(2, 2);
+        let a = res.link().reserve(0, 8_000);
+        let b = res.link().reserve(0, 8_000);
+        assert_eq!((a, b), (0, 8_000));
+        let c = res.cpu(0).reserve(0, 8_000);
+        let d = res.cpu(0).reserve(0, 8_000);
+        assert_eq!((c, d), (0, 0));
+    }
+}

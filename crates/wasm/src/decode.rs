@@ -322,7 +322,7 @@ impl<'a> Parser<'a> {
                 if locals.len() as u64 + run as u64 > 50_000 {
                     return self.err("too many locals");
                 }
-                locals.extend(std::iter::repeat(ty).take(run as usize));
+                locals.extend(std::iter::repeat_n(ty, run as usize));
             }
             let (body, terminator) = self.instrs()?;
             if terminator != OP_END {

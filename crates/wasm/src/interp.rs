@@ -785,7 +785,7 @@ fn trunc_to_i32(a: f64) -> Result<i32, Trap> {
         return Err(Trap::InvalidConversionToInteger);
     }
     let t = a.trunc();
-    if t < -2147483648.0 || t >= 2147483648.0 {
+    if !(-2147483648.0..2147483648.0).contains(&t) {
         return Err(Trap::IntegerOverflow);
     }
     Ok(t as i32)
@@ -796,7 +796,7 @@ fn trunc_to_u32(a: f64) -> Result<u32, Trap> {
         return Err(Trap::InvalidConversionToInteger);
     }
     let t = a.trunc();
-    if t < 0.0 || t >= 4294967296.0 {
+    if !(0.0..4294967296.0).contains(&t) {
         return Err(Trap::IntegerOverflow);
     }
     Ok(t as u32)
@@ -807,7 +807,7 @@ fn trunc_to_i64(a: f64) -> Result<i64, Trap> {
         return Err(Trap::InvalidConversionToInteger);
     }
     let t = a.trunc();
-    if t < -9223372036854775808.0 || t >= 9223372036854775808.0 {
+    if !(-9223372036854775808.0..9223372036854775808.0).contains(&t) {
         return Err(Trap::IntegerOverflow);
     }
     Ok(t as i64)
@@ -818,7 +818,7 @@ fn trunc_to_u64(a: f64) -> Result<u64, Trap> {
         return Err(Trap::InvalidConversionToInteger);
     }
     let t = a.trunc();
-    if t < 0.0 || t >= 18446744073709551616.0 {
+    if !(0.0..18446744073709551616.0).contains(&t) {
         return Err(Trap::IntegerOverflow);
     }
     Ok(t as u64)

@@ -1,3 +1,7 @@
+// Instantiation errors keep full import/export context for diagnostics;
+// they only occur on the cold setup path, so their size stays acceptable.
+#![allow(clippy::result_large_err)]
+
 //! A miniature WebAssembly engine.
 //!
 //! The Roadrunner paper runs its functions on WasmEdge; this crate is the

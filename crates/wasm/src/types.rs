@@ -238,7 +238,7 @@ impl Limits {
 
     /// Whether `pages` satisfies these limits.
     pub fn allows(&self, pages: u32) -> bool {
-        pages >= self.min && self.max.map_or(true, |m| pages <= m)
+        pages >= self.min && self.max.is_none_or(|m| pages <= m)
     }
 }
 

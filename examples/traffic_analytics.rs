@@ -8,7 +8,6 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
 use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
 use roadrunner_platform::{execute, FunctionBundle, WorkflowSpec};
 use roadrunner_serial::payload::{Payload, PayloadKind};
@@ -45,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let spec = WorkflowSpec::fanout("traffic", "city", "ingest", workers.clone());
     let clock = bed.clock().clone();
-    let run = execute(&mut plane, &clock, &spec, Bytes::from(batch.flat().clone()))?;
+    let run = execute(&mut plane, &clock, &spec, batch.flat().clone())?;
 
     println!(
         "fan-out of {} branches, total {:.4} s virtual",

@@ -3,7 +3,6 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
 use proptest::prelude::*;
 use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
 use roadrunner_baselines::{RuncPair, WasmedgePair};
@@ -53,7 +52,7 @@ proptest! {
             _ => plane.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap(),
         }
         let received = plane
-            .transfer_edge("a", "b", &Bytes::from(payload.flat().clone()))
+            .transfer_edge("a", "b", payload.flat())
             .unwrap();
         prop_assert_eq!(&received[..], &payload.flat()[..]);
         // Latency is charged and positive for non-trivial payloads.
@@ -97,7 +96,7 @@ proptest! {
             );
             plane.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
             plane.deploy(1, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
-            plane.transfer_edge("a", "b", &Bytes::from(p.flat().clone())).unwrap();
+            plane.transfer_edge("a", "b", p.flat()).unwrap();
             plane.last_breakdown().unwrap().transfer_ns
         };
         prop_assert!(measure(&big) > measure(&small));

@@ -5,10 +5,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use roadrunner::{guest, Mode, RoadrunnerPlane, ShimConfig};
-use roadrunner_platform::{execute, FunctionBundle, Pattern, WorkflowSpec};
+use roadrunner_platform::{
+    critical_path_ns, execute, execute_concurrent, FunctionBundle, WorkflowDag, WorkflowSpec,
+};
 use roadrunner_serial::payload::{Payload, PayloadKind};
 use roadrunner_serial::raw::fnv1a;
-use roadrunner_vkernel::Testbed;
+use roadrunner_vkernel::{SchedResources, Testbed};
 use roadrunner_wasm::encode;
 
 fn bundle(name: &str, module: roadrunner_wasm::Module) -> Arc<FunctionBundle> {
@@ -49,7 +51,7 @@ fn three_stage_chain_across_all_modes() {
         ["a", "r", "s", "b"].map(str::to_owned),
     );
     let clock = bed.clock().clone();
-    let run = execute(&mut p, &clock, &spec, Bytes::from(payload.flat().clone())).unwrap();
+    let run = execute(&mut p, &clock, &spec, payload.flat().clone()).unwrap();
     assert_eq!(run.edges.len(), 3);
     for edge in &run.edges {
         assert_eq!(
@@ -69,14 +71,12 @@ fn fanin_collects_at_one_target() {
     p.deploy(0, "s1", bundle("s1", guest::producer()), "produce", false).unwrap();
     p.deploy(0, "s2", bundle("s2", guest::producer()), "produce", false).unwrap();
     p.deploy(1, "sink", bundle("sink", guest::consumer()), "consume", true).unwrap();
-    let spec = WorkflowSpec {
-        name: "fanin".into(),
-        tenant: "test".into(),
-        pattern: Pattern::FanIn {
-            sources: vec!["s1".into(), "s2".into()],
-            target: "sink".into(),
-        },
-    };
+    let spec = WorkflowSpec::fan_in(
+        "fanin",
+        "test",
+        ["s1".to_owned(), "s2".to_owned()],
+        "sink",
+    );
     let payload = Bytes::from(vec![0xEE; 200_000]);
     let clock = bed.clock().clone();
     let run = execute(&mut p, &clock, &spec, payload.clone()).unwrap();
@@ -122,6 +122,91 @@ fn empty_payload_flows_through_every_mode() {
         let received = p.transfer_edge("a", target, &Bytes::new()).unwrap();
         assert!(received.is_empty(), "target {target}");
     }
+}
+
+#[test]
+fn diamond_dag_overlaps_branches_within_critical_path_bound() {
+    // The ISSUE-2 acceptance shape: a → {b, c} → d over the real
+    // Roadrunner plane under CostModel::paper_testbed. The concurrent
+    // engine must land strictly below the serialized edge sum (the two
+    // branches overlap on the node's four cores) but no lower than the
+    // DAG's critical path.
+    let (bed, mut p) = plane();
+    p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+    p.deploy(0, "b", bundle("b", guest::relay()), "relay", false).unwrap();
+    p.deploy(0, "c", bundle("c", guest::relay()), "relay", false).unwrap();
+    p.deploy(0, "d", bundle("d", guest::consumer()), "consume", true).unwrap();
+
+    let mut dag = WorkflowDag::new();
+    dag.add_edge("a", "b").add_edge("a", "c").add_edge("b", "d").add_edge("c", "d");
+    let spec = WorkflowSpec::from_dag("diamond", "test", dag);
+
+    let payload = Payload::synthetic(PayloadKind::Text, 17, 2_000_000);
+    let clock = bed.clock().clone();
+    let mut resources = SchedResources::for_testbed(&bed);
+    let run =
+        execute_concurrent(&mut p, &clock, &spec, payload.flat().clone(), &mut resources)
+            .unwrap();
+
+    assert_eq!(run.edges.len(), 4);
+    for edge in &run.edges {
+        assert_eq!(
+            fnv1a(&edge.received),
+            payload.checksum(),
+            "edge {} -> {} corrupted the payload",
+            edge.from,
+            edge.to
+        );
+    }
+    let serialized = run.serialized_ns();
+    let critical = critical_path_ns(&spec, &run).unwrap();
+    assert!(
+        run.total_latency_ns < serialized,
+        "branches did not overlap: makespan {} >= serialized {serialized}",
+        run.total_latency_ns
+    );
+    assert!(
+        run.total_latency_ns >= critical,
+        "makespan {} undercut the critical path {critical}",
+        run.total_latency_ns
+    );
+    // Both first-level branches start together — genuine concurrency.
+    assert_eq!(run.edge("a", "b").unwrap().start_ns, run.edge("a", "c").unwrap().start_ns);
+}
+
+#[test]
+fn mixed_node_diamond_contends_on_the_shared_link() {
+    // Same diamond, but the gather stage lives on node 1: b→d and c→d
+    // cross the WAN and must queue on the capacity-1 link, so the
+    // makespan exceeds the critical path while still beating the fully
+    // serialized schedule.
+    let (bed, mut p) = plane();
+    p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+    p.deploy(0, "b", bundle("b", guest::relay()), "relay", false).unwrap();
+    p.deploy(0, "c", bundle("c", guest::relay()), "relay", false).unwrap();
+    p.deploy(1, "d", bundle("d", guest::consumer()), "consume", true).unwrap();
+
+    let mut dag = WorkflowDag::new();
+    dag.add_edge("a", "b").add_edge("a", "c").add_edge("b", "d").add_edge("c", "d");
+    let spec = WorkflowSpec::from_dag("diamond-wan", "test", dag);
+
+    let payload = Payload::synthetic(PayloadKind::Text, 23, 4_000_000);
+    let clock = bed.clock().clone();
+    let mut resources = SchedResources::for_testbed(&bed);
+    let run =
+        execute_concurrent(&mut p, &clock, &spec, payload.flat().clone(), &mut resources)
+            .unwrap();
+
+    let critical = critical_path_ns(&spec, &run).unwrap();
+    assert!(run.total_latency_ns < run.serialized_ns());
+    assert!(
+        run.total_latency_ns > critical,
+        "link contention should push makespan {} past the critical path {critical}",
+        run.total_latency_ns
+    );
+    // The two wire transfers cannot overlap on one link.
+    let wire = bed.wan().wire_ns(payload.flat().len());
+    assert!(run.total_latency_ns >= 2 * wire);
 }
 
 #[test]
