@@ -8,6 +8,7 @@
 //! is cheap (~15 % of transfer, Fig. 2b) and tokio-style streaming
 //! overlaps stages.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -24,10 +25,13 @@ use crate::common::{flat_of, BaselineOutcome};
 /// over HTTP.
 pub struct RuncPair {
     testbed: Arc<Testbed>,
+    node_a: usize,
+    node_b: usize,
     sandbox_a: Sandbox,
     sandbox_b: Sandbox,
     client: TcpEndpoint,
     server: TcpEndpoint,
+    placements: HashMap<String, usize>,
 }
 
 impl std::fmt::Debug for RuncPair {
@@ -47,7 +51,16 @@ impl RuncPair {
         let sandbox_b = testbed.node(node_b).sandbox("runc-b");
         let link = Arc::clone(testbed.link_between(node_a, node_b));
         let (client, server) = TcpConn::establish(&sandbox_a, link);
-        Self { testbed, sandbox_a, sandbox_b, client, server }
+        Self {
+            testbed,
+            node_a,
+            node_b,
+            sandbox_a,
+            sandbox_b,
+            client,
+            server,
+            placements: HashMap::new(),
+        }
     }
 
     /// Sandbox of the source container.
@@ -58,6 +71,19 @@ impl RuncPair {
     /// Sandbox of the target container.
     pub fn sandbox_b(&self) -> &Sandbox {
         &self.sandbox_b
+    }
+
+    /// Testbed nodes the pair's containers run on, `(source, target)`.
+    pub fn nodes(&self) -> (usize, usize) {
+        (self.node_a, self.node_b)
+    }
+
+    /// Records that workflow function `function` runs on `node`
+    /// (chainable), so the concurrent engine attributes the function's
+    /// phases to that node's resources via [`DataPlane::placement`].
+    pub fn place(mut self, function: impl Into<String>, node: usize) -> Self {
+        self.placements.insert(function.into(), node);
+        self
     }
 
     /// Transfers one payload and returns the timing breakdown.
@@ -141,6 +167,10 @@ impl DataPlane for RuncPair {
         let timing = outcome.timing();
         Ok((outcome.received_flat, Some(timing)))
     }
+
+    fn placement(&self, function: &str) -> Option<usize> {
+        self.placements.get(function).copied()
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +180,16 @@ mod tests {
 
     fn payload(size: usize) -> Payload {
         Payload::synthetic(PayloadKind::Text, 7, size)
+    }
+
+    #[test]
+    fn placement_map_feeds_the_concurrent_engine() {
+        let bed = Arc::new(Testbed::paper());
+        let pair = RuncPair::establish(Arc::clone(&bed), 0, 1).place("src", 0).place("sink", 1);
+        assert_eq!(pair.nodes(), (0, 1));
+        assert_eq!(DataPlane::placement(&pair, "src"), Some(0));
+        assert_eq!(DataPlane::placement(&pair, "sink"), Some(1));
+        assert_eq!(DataPlane::placement(&pair, "ghost"), None);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! writing a full text encoder in raw Wasm instructions would change no
 //! measured quantity.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -36,12 +37,15 @@ use crate::common::{flat_of, BaselineOutcome};
 /// A connected pair of WasmEdge-style functions (`a` → `b`).
 pub struct WasmedgePair {
     testbed: Arc<Testbed>,
+    node_a: usize,
+    node_b: usize,
     sandbox_a: Sandbox,
     sandbox_b: Sandbox,
     sender: Instance,
     receiver: Instance,
     fd_a: u32,
     fd_b: u32,
+    placements: HashMap<String, usize>,
 }
 
 impl std::fmt::Debug for WasmedgePair {
@@ -94,7 +98,18 @@ impl WasmedgePair {
         )
         .expect("receiver instantiates");
 
-        Self { testbed, sandbox_a, sandbox_b, sender, receiver, fd_a, fd_b }
+        Self {
+            testbed,
+            node_a,
+            node_b,
+            sandbox_a,
+            sandbox_b,
+            sender,
+            receiver,
+            fd_a,
+            fd_b,
+            placements: HashMap::new(),
+        }
     }
 
     /// Sandbox of the source function.
@@ -105,6 +120,19 @@ impl WasmedgePair {
     /// Sandbox of the target function.
     pub fn sandbox_b(&self) -> &Sandbox {
         &self.sandbox_b
+    }
+
+    /// Testbed nodes the pair's VMs run on, `(source, target)`.
+    pub fn nodes(&self) -> (usize, usize) {
+        (self.node_a, self.node_b)
+    }
+
+    /// Records that workflow function `function` runs on `node`
+    /// (chainable), so the concurrent engine attributes the function's
+    /// phases to that node's resources via [`DataPlane::placement`].
+    pub fn place(mut self, function: impl Into<String>, node: usize) -> Self {
+        self.placements.insert(function.into(), node);
+        self
     }
 
     fn invoke_charged(
@@ -273,6 +301,10 @@ impl DataPlane for WasmedgePair {
         let timing = outcome.timing();
         Ok((outcome.received_flat, Some(timing)))
     }
+
+    fn placement(&self, function: &str) -> Option<usize> {
+        self.placements.get(function).copied()
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +314,17 @@ mod tests {
 
     fn payload(size: usize) -> Payload {
         Payload::synthetic(PayloadKind::Text, 11, size)
+    }
+
+    #[test]
+    fn placement_map_feeds_the_concurrent_engine() {
+        let bed = Arc::new(Testbed::paper());
+        let pair =
+            WasmedgePair::establish(Arc::clone(&bed), 0, 1).place("src", 0).place("sink", 1);
+        assert_eq!(pair.nodes(), (0, 1));
+        assert_eq!(DataPlane::placement(&pair, "src"), Some(0));
+        assert_eq!(DataPlane::placement(&pair, "sink"), Some(1));
+        assert_eq!(DataPlane::placement(&pair, "ghost"), None);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Golden regression pin for the paper's reproduced Fig. 7 headline.
+//!
+//! The simulation is fully deterministic, so these measurements are
+//! **exact**: any cost-model recalibration, plane refactor or scheduler
+//! change that moves a single virtual nanosecond on the serial
+//! single-edge path fails here — the paper's reproduced claims cannot
+//! drift silently. If a change is *supposed* to move these numbers,
+//! update the constants in the same commit and say why.
+//!
+//! The pinned claims (paper §6.3, DESIGN.md §6):
+//! * intra-node ordering: user space < kernel space < RunC < WasmEdge;
+//! * Roadrunner (Kernel space) lands ~12–13 % below RunC;
+//! * Roadrunner's serialization-path work is payload-size-independent
+//!   (the 8-byte descriptor handoff) and ≥ 97 % below WasmEdge's.
+
+use roadrunner_bench::{measure_transfer_intra, System, MB};
+
+/// Exact virtual-nanosecond latencies at 1 MB and 100 MB, in the
+/// intra-node line-up order (user, kernel, RunC, WasmEdge).
+const GOLDEN_1MB: [u64; 4] = [2_105_406, 2_430_204, 2_796_044, 32_659_333];
+const GOLDEN_100MB: [u64; 4] = [210_526_656, 242_245_057, 274_322_550, 3_262_657_274];
+
+/// Roadrunner's serialization-path cost: one boundary crossing plus the
+/// 8-byte descriptor, at any payload size.
+const GOLDEN_RR_SERIALIZATION: u64 = 1_008;
+
+fn latencies(size: usize) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for (slot, system) in out.iter_mut().zip(System::intra_node()) {
+        let m = measure_transfer_intra(system, size);
+        assert!(m.checksum_ok, "{system:?} corrupted the payload");
+        *slot = m.latency_ns;
+    }
+    out
+}
+
+#[test]
+fn fig7_latencies_are_byte_identical_to_the_pinned_run() {
+    assert_eq!(latencies(MB), GOLDEN_1MB);
+    assert_eq!(latencies(100 * MB), GOLDEN_100MB);
+}
+
+#[test]
+fn fig7_kernel_space_sits_twelve_to_thirteen_percent_below_runc() {
+    // The paper's §6.3 claim, derived from the same pinned numbers so a
+    // deliberate recalibration that breaks the *relationship* (not just
+    // the values) is called out separately.
+    for golden in [GOLDEN_1MB, GOLDEN_100MB] {
+        let [user, kernel, runc, wasmedge] = golden;
+        assert!(user < kernel && kernel < runc && runc < wasmedge, "{golden:?}");
+        let below_runc = 1.0 - kernel as f64 / runc as f64;
+        assert!(
+            (0.11..=0.14).contains(&below_runc),
+            "kernel space was {:.1} % below RunC, expected ~12-13 %",
+            below_runc * 100.0
+        );
+    }
+}
+
+#[test]
+fn fig7_roadrunner_serialization_is_constant_and_tiny() {
+    for size in [MB, 100 * MB] {
+        let user = measure_transfer_intra(System::RoadrunnerUser, size);
+        let kernel = measure_transfer_intra(System::RoadrunnerKernel, size);
+        assert_eq!(user.serialization_ns, GOLDEN_RR_SERIALIZATION);
+        assert_eq!(kernel.serialization_ns, GOLDEN_RR_SERIALIZATION);
+        let wasmedge = measure_transfer_intra(System::Wasmedge, size);
+        let reduction = 1.0 - user.serialization_ns as f64 / wasmedge.serialization_ns as f64;
+        assert!(reduction > 0.97, "serialization reduction was {reduction}");
+    }
+}

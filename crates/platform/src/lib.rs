@@ -17,7 +17,12 @@
 //! * [`workflow`] — the execution engines over a pluggable
 //!   [`workflow::DataPlane`]: a serial engine and a discrete-event
 //!   concurrent engine that overlaps independent edges in virtual time.
-//! * [`metrics`] — sample collection and summaries for the harness.
+//! * [`loadgen`] — open-loop multi-tenant load generation: many
+//!   concurrent workflow instances admitted at a configurable arrival
+//!   rate onto shared scheduler timelines, placed per instance by a
+//!   [`scheduler::PlacementPolicy`].
+//! * [`metrics`] — sample collection, summaries and latency percentile
+//!   digests for the harness.
 //!
 //! ```
 //! use roadrunner_platform::bundle::FunctionBundle;
@@ -43,6 +48,7 @@ pub mod bundle;
 pub mod dag;
 pub mod deploy;
 pub mod error;
+pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 pub mod scheduler;
@@ -52,10 +58,14 @@ pub use bundle::{BundleKind, FunctionBundle, Manifest};
 pub use dag::WorkflowDag;
 pub use deploy::{DeployedFunction, Deployment};
 pub use error::PlatformError;
-pub use metrics::{MetricsCollector, Sample, Summary};
+pub use loadgen::{ArrivalProcess, InstanceOutcome, LoadRun, OpenLoop, Placed};
+pub use metrics::{percentiles, MetricsCollector, PercentileSummary, Sample, Summary};
 pub use registry::FunctionRegistry;
-pub use scheduler::{Pinned, Placement, RoundRobin, Scheduler};
+pub use scheduler::{
+    ClusterNodes, LocalityFirst, Pinned, Placement, PlacementPolicy, RoundRobin, Scheduler,
+    SpreadLoad,
+};
 pub use workflow::{
-    critical_path_ns, execute, execute_concurrent, DataPlane, EdgeResult, TransferTiming,
-    WorkflowRun, WorkflowSpec,
+    critical_path_ns, execute, execute_concurrent, execute_concurrent_at, DataPlane, EdgeResult,
+    TransferTiming, WorkflowRun, WorkflowSpec,
 };

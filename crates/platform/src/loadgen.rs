@@ -1,0 +1,481 @@
+//! Open-loop multi-tenant load generation.
+//!
+//! The paper evaluates one workflow at a time; a platform serves many at
+//! once. This module admits a stream of workflow *instances* at a
+//! configurable arrival rate onto **shared**
+//! [`SchedResources`] timelines: each instance is placed by a
+//! [`PlacementPolicy`], released at its arrival time via
+//! [`execute_concurrent_at`],
+//! and its edges reserve the same per-node core lanes and per-pair links
+//! every other in-flight instance reserves — so independent instances
+//! genuinely contend for cores and links in virtual time.
+//!
+//! The generator is *open-loop*: arrivals do not wait for completions
+//! (the classic serverless traffic model — users do not coordinate), so
+//! offered load can exceed capacity and queueing shows up as growing
+//! sojourn times rather than a throttled arrival stream. Admission is
+//! FIFO in arrival order: an earlier instance's reservations are placed
+//! before a later instance's, the discipline of a work-conserving
+//! platform queue.
+
+use bytes::Bytes;
+use roadrunner_vkernel::sched::SchedResources;
+use roadrunner_vkernel::{Nanos, VirtualClock};
+
+use crate::error::PlatformError;
+use crate::metrics::{percentiles, PercentileSummary};
+use crate::scheduler::{ClusterNodes, PlacementPolicy};
+use crate::workflow::{execute_concurrent_at, DataPlane, TransferTiming, WorkflowSpec};
+
+/// The inter-arrival process of an open-loop workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Deterministic arrivals every `interval_ns`.
+    Uniform {
+        /// Fixed inter-arrival gap.
+        interval_ns: Nanos,
+    },
+    /// Poisson arrivals (exponential inter-arrival times) with the given
+    /// mean, generated from a deterministic seed so runs replay
+    /// identically.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_interval_ns: Nanos,
+        /// PRNG seed.
+        seed: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The first `count` arrival times (non-decreasing, starting at 0).
+    pub fn times(&self, count: usize) -> Vec<Nanos> {
+        match *self {
+            ArrivalProcess::Uniform { interval_ns } => {
+                (0..count as u64).map(|i| i * interval_ns).collect()
+            }
+            ArrivalProcess::Poisson { mean_interval_ns, seed } => {
+                let mut state = seed;
+                let mut at: Nanos = 0;
+                (0..count)
+                    .map(|_| {
+                        let release = at;
+                        // Inverse-transform sampling of Exp(1/mean) from a
+                        // splitmix64 uniform draw.
+                        let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                        let gap = -(1.0 - u).ln() * mean_interval_ns as f64;
+                        at += gap.round() as Nanos;
+                        release
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Mean inter-arrival gap (exact for uniform, the distribution mean
+    /// for Poisson).
+    pub fn mean_interval_ns(&self) -> Nanos {
+        match *self {
+            ArrivalProcess::Uniform { interval_ns } => interval_ns,
+            ArrivalProcess::Poisson { mean_interval_ns, .. } => mean_interval_ns,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`DataPlane`] wrapper that overrides placement per workflow
+/// instance — how a [`PlacementPolicy`]'s decision reaches the engine.
+///
+/// Transfers (and therefore costs and payload bytes) still go through
+/// the wrapped plane; only [`DataPlane::placement`] answers from the
+/// policy's assignment, so the instance's phases land on the scheduler
+/// timelines of the nodes the policy chose.
+pub struct Placed<'a> {
+    inner: &'a mut dyn DataPlane,
+    names: Vec<String>,
+    nodes: Vec<usize>,
+}
+
+impl<'a> Placed<'a> {
+    /// Wraps `inner`, mapping `spec`'s functions (in DAG node order) to
+    /// `assignment`'s nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not cover every function of `spec`.
+    pub fn new(inner: &'a mut dyn DataPlane, spec: &WorkflowSpec, assignment: &[usize]) -> Self {
+        let names: Vec<String> = spec.functions().iter().map(|&f| f.to_owned()).collect();
+        assert_eq!(
+            names.len(),
+            assignment.len(),
+            "assignment must cover every function of the workflow"
+        );
+        Self { inner, names, nodes: assignment.to_vec() }
+    }
+}
+
+impl DataPlane for Placed<'_> {
+    fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
+        self.inner.transfer(from, to, payload)
+    }
+
+    fn transfer_detailed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        self.inner.transfer_detailed(from, to, payload)
+    }
+
+    fn placement(&self, function: &str) -> Option<usize> {
+        self.names
+            .iter()
+            .position(|n| n == function)
+            .map(|i| self.nodes[i])
+            .or_else(|| self.inner.placement(function))
+    }
+}
+
+/// One admitted workflow instance's outcome.
+#[derive(Debug, Clone)]
+pub struct InstanceOutcome {
+    /// Instance index in admission order.
+    pub instance: usize,
+    /// Arrival (= release) time on the shared timescale.
+    pub release_ns: Nanos,
+    /// When the instance's last edge finished.
+    pub finish_ns: Nanos,
+    /// Sojourn time: `finish_ns - release_ns` (queueing + service).
+    pub sojourn_ns: Nanos,
+    /// The nodes the policy assigned, indexed by DAG node.
+    pub assignment: Vec<usize>,
+}
+
+/// Aggregate result of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadRun {
+    /// Per-instance outcomes in admission order.
+    pub outcomes: Vec<InstanceOutcome>,
+    /// First release to last finish — the horizon utilizations are
+    /// normalized by.
+    pub horizon_ns: Nanos,
+    /// Offered arrival rate (instances per second of virtual time,
+    /// `1 / mean inter-arrival gap`). Note that achieved throughput
+    /// ([`LoadRun::throughput_rps`]) can slightly exceed this under
+    /// light load with few instances: the horizon ends at the last
+    /// *completion*, which then trails the last arrival by less than one
+    /// inter-arrival gap.
+    pub offered_rps: f64,
+    /// Core-lane utilization over the horizon: Σ reserved CPU time /
+    /// (total core lanes × horizon).
+    pub cpu_utilization: f64,
+    /// Link utilization over the horizon.
+    pub link_utilization: f64,
+}
+
+impl LoadRun {
+    /// Completed instances per second of virtual time over the horizon.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.horizon_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.outcomes.len() as f64 * 1e9 / self.horizon_ns as f64
+    }
+
+    /// Sojourn-time percentile digest; `None` for an empty run.
+    pub fn sojourn_percentiles(&self) -> Option<PercentileSummary> {
+        let sojourns: Vec<Nanos> = self.outcomes.iter().map(|o| o.sojourn_ns).collect();
+        percentiles(&sojourns)
+    }
+
+    /// The slowest instance's sojourn.
+    pub fn max_sojourn_ns(&self) -> Nanos {
+        self.outcomes.iter().map(|o| o.sojourn_ns).max().unwrap_or(0)
+    }
+}
+
+/// An open-loop workload: `instances` copies of `spec` carrying
+/// `payload`, admitted per `arrivals`.
+#[derive(Debug, Clone)]
+pub struct OpenLoop {
+    /// The workflow every instance runs.
+    pub spec: WorkflowSpec,
+    /// Payload injected into every instance's roots.
+    pub payload: Bytes,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Number of instances to admit.
+    pub instances: usize,
+}
+
+impl OpenLoop {
+    /// Admits the workload onto `resources`, placing each instance with
+    /// `policy` and driving every edge through `plane`.
+    ///
+    /// `resources` is *not* reset: callers own the timescale and may
+    /// pre-load it (e.g. with background traffic). Utilizations are
+    /// computed from the reservations this run added, over its own
+    /// horizon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or transfer error.
+    pub fn run(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+        cluster: &ClusterNodes,
+    ) -> Result<LoadRun, PlatformError> {
+        let (cpu0, cpu_lanes) = resources.cpu_reserved();
+        let (link0, link_lanes) = resources.link_reserved();
+        let releases = self.arrivals.times(self.instances);
+        let mut outcomes = Vec::with_capacity(self.instances);
+        for (instance, &release_ns) in releases.iter().enumerate() {
+            let assignment = policy.assign(&self.spec, cluster);
+            let mut placed = Placed::new(plane, &self.spec, &assignment);
+            let run = execute_concurrent_at(
+                &mut placed,
+                clock,
+                &self.spec,
+                self.payload.clone(),
+                resources,
+                release_ns,
+            )?;
+            outcomes.push(InstanceOutcome {
+                instance,
+                release_ns,
+                finish_ns: release_ns + run.total_latency_ns,
+                sojourn_ns: run.total_latency_ns,
+                assignment,
+            });
+        }
+        let first = outcomes.first().map(|o| o.release_ns).unwrap_or(0);
+        let last = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(first);
+        let horizon_ns = last - first;
+        let (cpu1, _) = resources.cpu_reserved();
+        let (link1, _) = resources.link_reserved();
+        let util = |used: Nanos, lanes: usize| {
+            if horizon_ns == 0 || lanes == 0 {
+                0.0
+            } else {
+                used as f64 / (lanes as f64 * horizon_ns as f64)
+            }
+        };
+        let offered_rps = 1e9 / self.arrivals.mean_interval_ns().max(1) as f64;
+        Ok(LoadRun {
+            outcomes,
+            horizon_ns,
+            offered_rps,
+            cpu_utilization: util(cpu1 - cpu0, cpu_lanes),
+            link_utilization: util(link1 - link0, link_lanes),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{LocalityFirst, SpreadLoad};
+    use crate::workflow::execute_concurrent;
+
+    /// A plane charging fixed phase costs, payload-independent, so
+    /// schedules are easy to reason about.
+    struct FixedPlane {
+        clock: VirtualClock,
+        prepare_ns: Nanos,
+        transfer_ns: Nanos,
+        consume_ns: Nanos,
+    }
+
+    impl FixedPlane {
+        fn new(clock: VirtualClock) -> Self {
+            Self { clock, prepare_ns: 200, transfer_ns: 1_000, consume_ns: 300 }
+        }
+    }
+
+    impl DataPlane for FixedPlane {
+        fn transfer(&mut self, _: &str, _: &str, p: Bytes) -> Result<Bytes, PlatformError> {
+            self.clock.advance(self.prepare_ns + self.transfer_ns + self.consume_ns);
+            Ok(p)
+        }
+
+        fn transfer_detailed(
+            &mut self,
+            from: &str,
+            to: &str,
+            p: Bytes,
+        ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+            let timing = TransferTiming {
+                prepare_ns: self.prepare_ns,
+                transfer_ns: self.transfer_ns,
+                consume_ns: self.consume_ns,
+            };
+            let received = self.transfer(from, to, p)?;
+            Ok((received, Some(timing)))
+        }
+    }
+
+    fn pipeline_spec() -> WorkflowSpec {
+        WorkflowSpec::sequence("pipe", "t", ["a".to_owned(), "b".to_owned()])
+    }
+
+    #[test]
+    fn uniform_arrivals_are_evenly_spaced() {
+        let times = ArrivalProcess::Uniform { interval_ns: 250 }.times(4);
+        assert_eq!(times, vec![0, 250, 500, 750]);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_near_their_mean() {
+        let process = ArrivalProcess::Poisson { mean_interval_ns: 1_000_000, seed: 7 };
+        let a = process.times(400);
+        let b = process.times(400);
+        assert_eq!(a, b, "same seed must replay identically");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let mean_gap = a[399] as f64 / 399.0;
+        assert!(
+            (500_000.0..2_000_000.0).contains(&mean_gap),
+            "empirical mean gap {mean_gap} too far from 1e6"
+        );
+        let other = ArrivalProcess::Poisson { mean_interval_ns: 1_000_000, seed: 8 }.times(400);
+        assert_ne!(a, other, "different seeds must differ");
+    }
+
+    #[test]
+    fn placed_overrides_placement_and_forwards_transfers() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let spec = pipeline_spec();
+        let mut placed = Placed::new(&mut plane, &spec, &[2, 5]);
+        assert_eq!(placed.placement("a"), Some(2));
+        assert_eq!(placed.placement("b"), Some(5));
+        assert_eq!(placed.placement("ghost"), None);
+        let out = placed.transfer("a", "b", Bytes::from_static(b"xyz")).unwrap();
+        assert_eq!(&out[..], b"xyz");
+    }
+
+    #[test]
+    fn contention_never_speeds_an_instance_up() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let spec = pipeline_spec();
+        let cluster = ClusterNodes::new(vec![1, 1]);
+
+        // Uncontended makespan of one instance under locality placement.
+        let mut fresh = SchedResources::heterogeneous(&[1, 1]);
+        let mut placed = Placed::new(&mut plane, &spec, &[0, 0]);
+        let solo = execute_concurrent(&mut placed, &clock, &spec, Bytes::new(), &mut fresh)
+            .unwrap()
+            .total_latency_ns;
+        assert_eq!(solo, 1_500);
+
+        // Heavy load: arrivals far faster than the 1-core nodes drain.
+        let load = OpenLoop {
+            spec: spec.clone(),
+            payload: Bytes::new(),
+            arrivals: ArrivalProcess::Uniform { interval_ns: 100 },
+            instances: 12,
+        };
+        let mut shared = SchedResources::heterogeneous(&[1, 1]);
+        let mut policy = LocalityFirst::new();
+        let run =
+            load.run(&mut plane, &clock, &mut shared, &mut policy, &cluster).unwrap();
+        assert_eq!(run.outcomes.len(), 12);
+        for outcome in &run.outcomes {
+            assert!(
+                outcome.sojourn_ns >= solo,
+                "instance {} finished in {} < uncontended {}",
+                outcome.instance,
+                outcome.sojourn_ns,
+                solo
+            );
+        }
+        // Queueing builds: the last instance waits longer than the first.
+        assert!(run.outcomes[11].sojourn_ns > run.outcomes[0].sojourn_ns);
+        // Overload: achieved throughput falls short of offered.
+        assert!(run.throughput_rps() < run.offered_rps);
+    }
+
+    #[test]
+    fn light_load_leaves_instances_at_their_solo_makespan() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let spec = pipeline_spec();
+        let cluster = ClusterNodes::new(vec![4, 4]);
+        let load = OpenLoop {
+            spec: spec.clone(),
+            payload: Bytes::new(),
+            arrivals: ArrivalProcess::Uniform { interval_ns: 1_000_000 },
+            instances: 5,
+        };
+        let mut shared = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        let run =
+            load.run(&mut plane, &clock, &mut shared, &mut policy, &cluster).unwrap();
+        // Arrivals 1 ms apart, service 1.5 µs: nothing ever queues.
+        assert!(run.outcomes.iter().all(|o| o.sojourn_ns == 1_500));
+        let p = run.sojourn_percentiles().unwrap();
+        assert_eq!((p.p50_ns, p.p95_ns, p.p99_ns), (1_500, 1_500, 1_500));
+    }
+
+    #[test]
+    fn spread_policy_pays_the_link_locality_avoids() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let spec = pipeline_spec();
+        let cluster = ClusterNodes::new(vec![4, 4]);
+        let load = OpenLoop {
+            spec: spec.clone(),
+            payload: Bytes::new(),
+            arrivals: ArrivalProcess::Uniform { interval_ns: 10_000 },
+            instances: 4,
+        };
+
+        let mut res = SchedResources::new(2, 4);
+        let mut locality = LocalityFirst::new();
+        let packed =
+            load.run(&mut plane, &clock, &mut res, &mut locality, &cluster).unwrap();
+        assert!((packed.link_utilization - 0.0).abs() < f64::EPSILON);
+        assert!(packed.cpu_utilization > 0.0);
+
+        let mut res = SchedResources::new(2, 4);
+        let mut spread = SpreadLoad::new();
+        let crossed = load.run(&mut plane, &clock, &mut res, &mut spread, &cluster).unwrap();
+        assert!(crossed.link_utilization > 0.0);
+        // Every instance's a→b crosses nodes under spread.
+        assert!(crossed.outcomes.iter().all(|o| o.assignment[0] != o.assignment[1]));
+    }
+
+    #[test]
+    fn transfer_errors_propagate_out_of_the_loop() {
+        struct Failing;
+        impl DataPlane for Failing {
+            fn transfer(&mut self, _: &str, _: &str, _: Bytes) -> Result<Bytes, PlatformError> {
+                Err(PlatformError::Transfer("down".into()))
+            }
+        }
+        let clock = VirtualClock::new();
+        let load = OpenLoop {
+            spec: pipeline_spec(),
+            payload: Bytes::new(),
+            arrivals: ArrivalProcess::Uniform { interval_ns: 1 },
+            instances: 2,
+        };
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        let cluster = ClusterNodes::new(vec![4, 4]);
+        assert!(matches!(
+            load.run(&mut Failing, &clock, &mut res, &mut policy, &cluster),
+            Err(PlatformError::Transfer(_))
+        ));
+    }
+}

@@ -39,6 +39,50 @@ pub struct Summary {
     pub max_ram_peak: u64,
 }
 
+/// Latency percentile digest over a set of observations — the
+/// tail-latency view the load experiments report (p50/p95/p99), which
+/// mean-centric summaries like [`Summary`] cannot show.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentileSummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// Minimum latency.
+    pub min_ns: Nanos,
+    /// Median (nearest-rank).
+    pub p50_ns: Nanos,
+    /// 95th percentile (nearest-rank).
+    pub p95_ns: Nanos,
+    /// 99th percentile (nearest-rank).
+    pub p99_ns: Nanos,
+    /// Maximum latency.
+    pub max_ns: Nanos,
+}
+
+/// Nearest-rank percentile digest of `latencies`; `None` when empty.
+///
+/// Nearest-rank means the reported value is always an *observed*
+/// latency: the ⌈q·N/100⌉-th smallest observation.
+pub fn percentiles(latencies: &[Nanos]) -> Option<PercentileSummary> {
+    if latencies.is_empty() {
+        return None;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let count = sorted.len();
+    let rank = |q: usize| sorted[(count * q).div_ceil(100).max(1) - 1];
+    Some(PercentileSummary {
+        count,
+        mean_ns: sorted.iter().sum::<u64>() as f64 / count as f64,
+        min_ns: sorted[0],
+        p50_ns: rank(50),
+        p95_ns: rank(95),
+        p99_ns: rank(99),
+        max_ns: sorted[count - 1],
+    })
+}
+
 /// Accumulates samples across experiment repetitions.
 #[derive(Debug, Default)]
 pub struct MetricsCollector {
@@ -95,6 +139,18 @@ impl MetricsCollector {
         })
     }
 
+    /// Percentile digest of the latencies recorded under `label`; `None`
+    /// if no samples carry it.
+    pub fn percentiles(&self, label: &str) -> Option<PercentileSummary> {
+        let latencies: Vec<Nanos> = self
+            .samples
+            .iter()
+            .filter(|s| s.label == label)
+            .map(|s| s.latency_ns)
+            .collect();
+        percentiles(&latencies)
+    }
+
     /// Clears recorded samples.
     pub fn clear(&mut self) {
         self.samples.clear();
@@ -142,6 +198,44 @@ mod tests {
         m.record(sample("a", 1));
         m.record(sample("b", 2));
         assert_eq!(m.labels(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        // 1..=100: pXX is exactly XX.
+        let latencies: Vec<Nanos> = (1..=100).collect();
+        let p = percentiles(&latencies).unwrap();
+        assert_eq!(p.count, 100);
+        assert_eq!(p.min_ns, 1);
+        assert_eq!(p.p50_ns, 50);
+        assert_eq!(p.p95_ns, 95);
+        assert_eq!(p.p99_ns, 99);
+        assert_eq!(p.max_ns, 100);
+        assert_eq!(p.mean_ns, 50.5);
+    }
+
+    #[test]
+    fn percentiles_are_observed_values_for_small_counts() {
+        let p = percentiles(&[400, 100]).unwrap();
+        assert_eq!(p.p50_ns, 100);
+        assert_eq!(p.p95_ns, 400);
+        assert_eq!(p.p99_ns, 400);
+        let single = percentiles(&[7]).unwrap();
+        assert_eq!((single.p50_ns, single.p95_ns, single.p99_ns), (7, 7, 7));
+        assert!(percentiles(&[]).is_none());
+    }
+
+    #[test]
+    fn collector_percentiles_filter_by_label() {
+        let mut m = MetricsCollector::new();
+        for latency in [10, 20, 30] {
+            m.record(sample("x", latency));
+        }
+        m.record(sample("y", 1_000_000));
+        let p = m.percentiles("x").unwrap();
+        assert_eq!(p.count, 3);
+        assert_eq!(p.max_ns, 30);
+        assert!(m.percentiles("nope").is_none());
     }
 
     #[test]

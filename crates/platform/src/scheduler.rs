@@ -2,12 +2,22 @@
 //!
 //! Roadrunner explicitly does *not* control placement: it "optimizes
 //! communication regardless of the scheduler's decisions" (paper §2.2).
-//! The schedulers here stand in for the orchestrator: they assign
-//! functions to nodes; the communication layer then derives the best
-//! transfer mode from wherever functions landed.
+//! The schedulers here stand in for the orchestrator, at two levels:
+//!
+//! * [`Scheduler`] places one function at a time ([`RoundRobin`],
+//!   [`Pinned`]) — enough for the paper's single-workflow experiments.
+//! * [`PlacementPolicy`] places a whole **workflow instance** onto a
+//!   cluster it observes ([`ClusterNodes`]), tracking cumulative load
+//!   across instances — what the multi-tenant load generator
+//!   ([`crate::loadgen`]) drives. [`LocalityFirst`] packs each instance
+//!   onto one node (maximizing user-/kernel-space edges for Roadrunner to
+//!   exploit); [`SpreadLoad`] spreads functions across nodes
+//!   (maximizing parallel cores, at the price of network edges).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::workflow::WorkflowSpec;
 
 /// A placement decision: which node a function instance runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +81,148 @@ impl Scheduler for Pinned {
     }
 }
 
+/// What a placement policy sees of the cluster: per-node core counts.
+///
+/// Built from a testbed with [`ClusterNodes::of`], or directly from a
+/// core-count slice for tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterNodes {
+    cores: Vec<u32>,
+}
+
+impl ClusterNodes {
+    /// A view over explicit per-node core counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty or contains a zero.
+    pub fn new(cores: Vec<u32>) -> Self {
+        assert!(!cores.is_empty(), "a cluster view needs at least one node");
+        assert!(cores.iter().all(|&c| c > 0), "every node needs at least one core");
+        Self { cores }
+    }
+
+    /// The view of `testbed`'s nodes.
+    pub fn of(testbed: &roadrunner_vkernel::Testbed) -> Self {
+        Self::new(testbed.nodes().iter().map(|n| n.cores()).collect())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Core count of node `i`.
+    pub fn cores(&self, i: usize) -> u32 {
+        self.cores[i]
+    }
+}
+
+/// Assigns every function of a workflow instance to a cluster node.
+///
+/// Policies are stateful: they observe the load their own past
+/// assignments created, so successive instances land where capacity
+/// remains. The returned vector is indexed by the spec's DAG node index
+/// (the same index [`WorkflowDag::nodes`](crate::dag::WorkflowDag)
+/// iterates in) and feeds
+/// [`DataPlane::placement`](crate::workflow::DataPlane) through
+/// [`crate::loadgen::Placed`].
+pub trait PlacementPolicy: Send {
+    /// Human-readable policy name (used in benchmark series labels).
+    fn name(&self) -> &'static str;
+
+    /// Chooses a node for every function of `spec`, observing `cluster`.
+    fn assign(&mut self, spec: &WorkflowSpec, cluster: &ClusterNodes) -> Vec<usize>;
+
+    /// Forgets accumulated load (between benchmark cells).
+    fn reset(&mut self);
+}
+
+/// Picks the least-loaded node (normalized by its core count) and packs
+/// the **whole instance** there: every edge becomes a user-/kernel-space
+/// edge, which is exactly the regime Roadrunner's co-location modes
+/// accelerate. Load is counted in assigned functions.
+#[derive(Debug, Default)]
+pub struct LocalityFirst {
+    load: Vec<u64>,
+}
+
+impl LocalityFirst {
+    /// A fresh policy with no accumulated load.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Index of the node minimizing `load/cores`, ties to the lowest index.
+/// Compared by cross-multiplication so the arithmetic stays integral
+/// (and therefore deterministic across platforms).
+fn least_loaded(load: &[u64], cluster: &ClusterNodes) -> usize {
+    (0..load.len())
+        .min_by(|&a, &b| {
+            let lhs = load[a] * u64::from(cluster.cores(b));
+            let rhs = load[b] * u64::from(cluster.cores(a));
+            lhs.cmp(&rhs)
+        })
+        .expect("cluster views are non-empty")
+}
+
+impl PlacementPolicy for LocalityFirst {
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+
+    fn assign(&mut self, spec: &WorkflowSpec, cluster: &ClusterNodes) -> Vec<usize> {
+        self.load.resize(cluster.node_count(), 0);
+        let functions = spec.functions().len();
+        let node = least_loaded(&self.load, cluster);
+        self.load[node] += functions as u64;
+        vec![node; functions]
+    }
+
+    fn reset(&mut self) {
+        self.load.clear();
+    }
+}
+
+/// Spreads the functions of every instance across the cluster, each onto
+/// the currently least-loaded node (normalized by core count): maximal
+/// parallel cores, at the price of turning workflow edges into network
+/// transfers.
+#[derive(Debug, Default)]
+pub struct SpreadLoad {
+    load: Vec<u64>,
+}
+
+impl SpreadLoad {
+    /// A fresh policy with no accumulated load.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PlacementPolicy for SpreadLoad {
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+
+    fn assign(&mut self, spec: &WorkflowSpec, cluster: &ClusterNodes) -> Vec<usize> {
+        self.load.resize(cluster.node_count(), 0);
+        spec.functions()
+            .iter()
+            .map(|_| {
+                let node = least_loaded(&self.load, cluster);
+                self.load[node] += 1;
+                node
+            })
+            .collect()
+    }
+
+    fn reset(&mut self) {
+        self.load.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +253,83 @@ mod tests {
     fn pinned_clamps_to_cluster_size() {
         let s = Pinned::new(0).pin("a", 9);
         assert_eq!(s.place("a", 2).node, 1);
+    }
+
+    fn chain(name: &str) -> WorkflowSpec {
+        WorkflowSpec::sequence(name, "t", ["f".to_owned(), "g".to_owned(), "h".to_owned()])
+    }
+
+    #[test]
+    fn locality_first_packs_instances_and_rotates_nodes() {
+        let cluster = ClusterNodes::new(vec![4, 4, 4]);
+        let mut policy = LocalityFirst::new();
+        let a = policy.assign(&chain("a"), &cluster);
+        let b = policy.assign(&chain("b"), &cluster);
+        let c = policy.assign(&chain("c"), &cluster);
+        let d = policy.assign(&chain("d"), &cluster);
+        // Each instance fully packed on one node…
+        for assignment in [&a, &b, &c, &d] {
+            assert_eq!(assignment.len(), 3);
+            assert!(assignment.iter().all(|&n| n == assignment[0]));
+        }
+        // …and successive instances rotate onto the least-loaded node.
+        assert_eq!((a[0], b[0], c[0], d[0]), (0, 1, 2, 0));
+    }
+
+    #[test]
+    fn spread_load_distributes_functions_across_nodes() {
+        let cluster = ClusterNodes::new(vec![4, 4, 4]);
+        let mut policy = SpreadLoad::new();
+        let a = policy.assign(&chain("a"), &cluster);
+        assert_eq!(a, vec![0, 1, 2]);
+        let b = policy.assign(&chain("b"), &cluster);
+        assert_eq!(b, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn policies_weight_load_by_core_count() {
+        // An 8-core node absorbs twice the functions of a 4-core node
+        // before it stops being the least-loaded choice.
+        let cluster = ClusterNodes::new(vec![4, 8]);
+        let mut policy = SpreadLoad::new();
+        let picks: Vec<usize> = (0..6)
+            .flat_map(|i| {
+                policy.assign(
+                    &WorkflowSpec::sequence(
+                        format!("wf{i}"),
+                        "t",
+                        ["x".to_owned(), "y".to_owned()],
+                    ),
+                    &cluster,
+                )
+            })
+            .collect();
+        let on_big = picks.iter().filter(|&&n| n == 1).count();
+        assert_eq!(on_big, 8, "picks were {picks:?}");
+        assert_eq!(picks.len() - on_big, 4);
+    }
+
+    #[test]
+    fn policy_reset_forgets_load() {
+        let cluster = ClusterNodes::new(vec![4, 4]);
+        let mut policy = LocalityFirst::new();
+        assert_eq!(policy.assign(&chain("a"), &cluster)[0], 0);
+        assert_eq!(policy.assign(&chain("b"), &cluster)[0], 1);
+        policy.reset();
+        assert_eq!(policy.assign(&chain("c"), &cluster)[0], 0);
+    }
+
+    #[test]
+    fn cluster_nodes_view_of_testbed() {
+        let bed = roadrunner_vkernel::Testbed::paper();
+        let view = ClusterNodes::of(&bed);
+        assert_eq!(view.node_count(), 2);
+        assert_eq!(view.cores(0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_view_panics() {
+        ClusterNodes::new(Vec::new());
     }
 }

@@ -187,11 +187,15 @@ pub struct EdgeResult {
     /// Busy virtual time the transfer itself took (excludes any
     /// contention wait in the concurrent engine).
     pub latency_ns: Nanos,
-    /// When the edge started, relative to the run's start.
+    /// When the edge started, relative to the run's start (for
+    /// [`execute_concurrent_at`] this is absolute on the shared
+    /// resources' timescale, so it is ≥ the instance's release time).
     pub start_ns: Nanos,
-    /// When the edge completed, relative to the run's start. In the
-    /// concurrent engine `finish_ns - start_ns` can exceed `latency_ns`
-    /// when the edge waited for a contended resource mid-flight.
+    /// When the edge completed, on the same timescale as `start_ns`
+    /// (relative to the run's start; absolute on the shared resources'
+    /// timescale for [`execute_concurrent_at`]). In the concurrent
+    /// engine `finish_ns - start_ns` can exceed `latency_ns` when the
+    /// edge waited for a contended resource mid-flight.
     pub finish_ns: Nanos,
     /// The payload as received (reference-counted; cheap to hold).
     pub received: Bytes,
@@ -335,16 +339,42 @@ pub fn execute_concurrent(
     payload: Bytes,
     resources: &mut SchedResources,
 ) -> Result<WorkflowRun, PlatformError> {
+    execute_concurrent_at(plane, clock, spec, payload, resources, 0)
+}
+
+/// [`execute_concurrent`] with a release time: the workflow's roots
+/// become ready at `release_ns` on `resources`' shared timescale instead
+/// of at 0.
+///
+/// This is the admission primitive of the open-loop load generator
+/// ([`crate::loadgen`]): each arriving workflow instance is executed onto
+/// the *same* `resources`, released at its arrival time, so independent
+/// instances genuinely contend for cores and links in virtual time.
+/// Edge `start_ns`/`finish_ns` are absolute on the resources' timescale;
+/// `total_latency_ns` is the instance's makespan measured **from its
+/// release** (its sojourn time under load).
+///
+/// # Errors
+///
+/// Propagates validation and transfer errors.
+pub fn execute_concurrent_at(
+    plane: &mut dyn DataPlane,
+    clock: &VirtualClock,
+    spec: &WorkflowSpec,
+    payload: Bytes,
+    resources: &mut SchedResources,
+    release_ns: Nanos,
+) -> Result<WorkflowRun, PlatformError> {
     spec.validate()?;
     let dag = &spec.dag;
     let n = dag.node_count();
     let mut pending = dag.in_degrees();
     let mut node_payload: Vec<Option<Bytes>> = vec![None; n];
-    let mut node_ready: Vec<Nanos> = vec![0; n];
+    let mut node_ready: Vec<Nanos> = vec![release_ns; n];
     let mut queue = EventQueue::new();
     for root in dag.roots() {
         node_payload[root] = Some(payload.clone());
-        queue.push(0, root);
+        queue.push(release_ns, root);
     }
     let mut edges = Vec::with_capacity(dag.edge_count());
     let mut makespan: Nanos = 0;
@@ -369,7 +399,7 @@ pub fn execute_concurrent(
             let t_start = if src == dst {
                 resources.cpu(src).reserve(p_end, timing.transfer_ns)
             } else {
-                resources.link().reserve(p_end, timing.transfer_ns)
+                resources.link_between(src, dst).reserve(p_end, timing.transfer_ns)
             };
             let t_end = t_start + timing.transfer_ns;
             let c_start = resources.cpu(dst).reserve(t_end, timing.consume_ns);
@@ -403,7 +433,7 @@ pub fn execute_concurrent(
             }
         }
     }
-    Ok(WorkflowRun { edges, total_latency_ns: makespan })
+    Ok(WorkflowRun { edges, total_latency_ns: makespan.saturating_sub(release_ns) })
 }
 
 pub(crate) fn fnv1a(data: &[u8]) -> u64 {
@@ -659,6 +689,113 @@ mod tests {
                 .unwrap();
         // All four transfers queue on the single link.
         assert_eq!(run.total_latency_ns, 4_000);
+    }
+
+    #[test]
+    fn released_instances_contend_and_never_speed_up() {
+        let spec = diamond_spec();
+        let payload = Bytes::from(vec![1u8; 10_000]);
+        let per_edge = 1_000 + 10_000;
+
+        // Uncontended baseline on fresh resources.
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let mut fresh = SchedResources::new(1, 2);
+        let base = execute_concurrent(&mut plane, &clock, &spec, payload.clone(), &mut fresh)
+            .unwrap()
+            .total_latency_ns;
+        assert_eq!(base, 2 * per_edge);
+
+        // Two instances admitted onto *shared* resources, the second
+        // released mid-flight of the first.
+        let mut shared = SchedResources::new(1, 2);
+        let release = per_edge as Nanos;
+        let first =
+            execute_concurrent_at(&mut plane, &clock, &spec, payload.clone(), &mut shared, 0)
+                .unwrap();
+        let second =
+            execute_concurrent_at(&mut plane, &clock, &spec, payload, &mut shared, release)
+                .unwrap();
+        // The first instance saw empty resources: identical to baseline.
+        assert_eq!(first.total_latency_ns, base);
+        // The second queues behind the first on the two lanes: its
+        // sojourn exceeds the uncontended makespan.
+        assert!(second.total_latency_ns > base);
+        // And nothing of it starts before its release.
+        assert!(second.edges.iter().all(|e| e.start_ns >= release));
+    }
+
+    #[test]
+    fn release_alone_does_not_change_the_makespan() {
+        let spec = diamond_spec();
+        let payload = Bytes::from(vec![3u8; 2_000]);
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let mut res = SchedResources::new(1, 4);
+        let base =
+            execute_concurrent(&mut plane, &clock, &spec, payload.clone(), &mut res).unwrap();
+        let mut res = SchedResources::new(1, 4);
+        let shifted =
+            execute_concurrent_at(&mut plane, &clock, &spec, payload, &mut res, 777_000).unwrap();
+        // Empty resources: shifting the release shifts starts, not spans.
+        assert_eq!(shifted.total_latency_ns, base.total_latency_ns);
+        assert_eq!(shifted.edges[0].start_ns, base.edges[0].start_ns + 777_000);
+    }
+
+    #[test]
+    fn mesh_resources_route_disjoint_pairs_onto_distinct_links() {
+        // Functions on four nodes; the two cross-node edges use disjoint
+        // node pairs, so on a mesh they overlap fully.
+        struct FourNode {
+            clock: VirtualClock,
+        }
+        impl DataPlane for FourNode {
+            fn transfer(&mut self, _: &str, _: &str, p: Bytes) -> Result<Bytes, PlatformError> {
+                self.clock.advance(1_000);
+                Ok(p)
+            }
+            fn transfer_detailed(
+                &mut self,
+                f: &str,
+                t: &str,
+                p: Bytes,
+            ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+                let received = self.transfer(f, t, p)?;
+                Ok((
+                    received,
+                    Some(TransferTiming { prepare_ns: 0, transfer_ns: 1_000, consume_ns: 0 }),
+                ))
+            }
+            fn placement(&self, function: &str) -> Option<usize> {
+                Some(match function {
+                    "a" => 0,
+                    "b" => 1,
+                    "c" => 2,
+                    _ => 3,
+                })
+            }
+        }
+        // s fans out to a and c (disjoint pairs 3→0 and 3→2), which then
+        // forward over two more disjoint pairs 0→1 and 2→3.
+        let mut dag = WorkflowDag::new();
+        dag.add_edge("a", "b").add_edge("c", "d");
+        dag.add_edge("s", "a").add_edge("s", "c");
+        let spec = WorkflowSpec::from_dag("mesh", "t", dag);
+        let clock = VirtualClock::new();
+        let mut plane = FourNode { clock: clock.clone() };
+
+        let mut mesh = SchedResources::mesh(&[4, 4, 4, 4]);
+        let overlapped =
+            execute_concurrent(&mut plane, &clock, &spec, Bytes::from_static(b"x"), &mut mesh)
+                .unwrap();
+        let mut shared = SchedResources::new(4, 4);
+        let serialized =
+            execute_concurrent(&mut plane, &clock, &spec, Bytes::from_static(b"x"), &mut shared)
+                .unwrap();
+        // Mesh: s→a ∥ s→c then a→b ∥ c→d → 2 levels. Shared WAN: all four
+        // cross-node transfers queue on one timeline → 4 slots.
+        assert_eq!(overlapped.total_latency_ns, 2_000);
+        assert_eq!(serialized.total_latency_ns, 4_000);
     }
 
     #[test]

@@ -36,6 +36,9 @@
 //!   contended cores and links serialize.
 //! * [`node`] / [`testbed`] — hosts, sandboxes and links wired into the
 //!   paper's topology.
+//! * [`cluster`] — N-node topologies beyond the paper's two-VM pair:
+//!   heterogeneous nodes joined by a per-pair link mesh, built into the
+//!   same [`Testbed`] everything else already runs on.
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@
 pub mod account;
 pub mod buffer;
 pub mod clock;
+pub mod cluster;
 pub mod costmodel;
 pub mod error;
 pub mod net;
@@ -65,6 +69,7 @@ pub mod unix;
 
 pub use account::ResourceAccount;
 pub use clock::VirtualClock;
+pub use cluster::{ClusterSpec, LinkSpec, NodeSpec};
 pub use costmodel::CostModel;
 pub use error::VkError;
 pub use net::Link;

@@ -44,6 +44,7 @@ use crate::Nanos;
 pub struct Timeline {
     label: String,
     lanes: Vec<Nanos>,
+    reserved: Nanos,
 }
 
 impl Timeline {
@@ -54,7 +55,7 @@ impl Timeline {
     /// Panics if `capacity` is zero.
     pub fn new(label: impl Into<String>, capacity: usize) -> Self {
         assert!(capacity > 0, "a resource needs at least one lane");
-        Self { label: label.into(), lanes: vec![0; capacity] }
+        Self { label: label.into(), lanes: vec![0; capacity], reserved: 0 }
     }
 
     /// The resource's label (for reports and panics).
@@ -85,7 +86,15 @@ impl Timeline {
             .expect("capacity checked at construction");
         let start = self.lanes[lane].max(earliest);
         self.lanes[lane] = start + duration;
+        self.reserved += duration;
         start
+    }
+
+    /// Total busy time reserved across all lanes since construction or the
+    /// last [`reset`](Self::reset) — the numerator of the resource's
+    /// utilization (`reserved_ns / (capacity × horizon)`).
+    pub fn reserved_ns(&self) -> Nanos {
+        self.reserved
     }
 
     /// Earliest time any lane is free.
@@ -101,6 +110,7 @@ impl Timeline {
     /// Clears all reservations.
     pub fn reset(&mut self) {
         self.lanes.fill(0);
+        self.reserved = 0;
     }
 }
 
@@ -196,14 +206,29 @@ impl<T> std::fmt::Debug for EventQueue<T> {
 }
 
 /// The schedulable resources of a testbed: one CPU timeline per node
-/// (capacity = core count) and the shared inter-node link (capacity 1 —
-/// concurrent transfers share its bandwidth by queueing behind each
+/// (capacity = core count) and the inter-node links (capacity 1 each —
+/// concurrent transfers share a link's bandwidth by queueing behind each
 /// other, matching [`run_fanout`](crate::pipeline::run_fanout)'s
 /// single-capacity wire).
+///
+/// Two link layouts exist. The classic layout (the paper's two-VM pair)
+/// has **one shared WAN timeline** that every inter-node edge reserves.
+/// Cluster-built resources ([`SchedResources::mesh`] /
+/// [`SchedResources::for_testbed`] over a cluster testbed) carry **one
+/// timeline per node pair**, so traffic between nodes 0↔1 no longer
+/// queues behind traffic between 2↔3.
 #[derive(Debug, Clone)]
 pub struct SchedResources {
     cpus: Vec<Timeline>,
     wan: Timeline,
+    mesh: Option<Vec<Timeline>>,
+}
+
+/// Index of the unordered pair `(a, b)`, `a < b`, in a flattened
+/// upper-triangular matrix over `n` nodes.
+pub(crate) fn pair_index(n: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < b && b < n);
+    a * (2 * n - a - 1) / 2 + (b - a - 1)
 }
 
 impl SchedResources {
@@ -218,13 +243,61 @@ impl SchedResources {
         let cpus = (0..node_count)
             .map(|i| Timeline::new(format!("cpu-{i}"), cores as usize))
             .collect();
-        Self { cpus, wan: Timeline::new("wan", 1) }
+        Self { cpus, wan: Timeline::new("wan", 1), mesh: None }
     }
 
-    /// Resources mirroring `testbed`'s topology.
+    /// Resources for heterogeneous nodes (per-node core counts), joined
+    /// by one shared link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty or any entry is zero.
+    pub fn heterogeneous(cores: &[u32]) -> Self {
+        assert!(!cores.is_empty(), "a schedule needs at least one node");
+        let cpus = cores
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Timeline::new(format!("cpu-{i}"), c as usize))
+            .collect();
+        Self { cpus, wan: Timeline::new("wan", 1), mesh: None }
+    }
+
+    /// Resources for heterogeneous nodes joined by a **full mesh** of
+    /// point-to-point links: each node pair gets its own capacity-1
+    /// timeline, so transfers between disjoint pairs never contend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty or any entry is zero.
+    pub fn mesh(cores: &[u32]) -> Self {
+        let mut this = Self::heterogeneous(cores);
+        let n = this.cpus.len();
+        let mut links = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for a in 0..n {
+            for b in a + 1..n {
+                links.push(Timeline::new(format!("link-{a}-{b}"), 1));
+            }
+        }
+        this.mesh = Some(links);
+        this
+    }
+
+    /// Resources mirroring `testbed`'s topology: per-node core counts,
+    /// and a per-pair link mesh when the testbed was built from a
+    /// [`ClusterSpec`](crate::cluster::ClusterSpec) with per-pair links
+    /// (the classic shared-WAN layout otherwise).
     pub fn for_testbed(testbed: &Testbed) -> Self {
-        let nodes = testbed.nodes();
-        Self::new(nodes.len(), nodes[0].cores())
+        let cores: Vec<u32> = testbed.nodes().iter().map(|n| n.cores()).collect();
+        if testbed.has_pair_links() {
+            Self::mesh(&cores)
+        } else {
+            Self::heterogeneous(&cores)
+        }
+    }
+
+    /// Number of nodes the resources model.
+    pub fn node_count(&self) -> usize {
+        self.cpus.len()
     }
 
     /// CPU timeline of node `i` (indexes wrap onto the known nodes, so a
@@ -239,14 +312,56 @@ impl SchedResources {
         &mut self.wan
     }
 
+    /// The link timeline carrying traffic between nodes `a` and `b`
+    /// (indexes wrap onto the known nodes): the pair's own timeline on a
+    /// mesh, the shared WAN otherwise. Equal indexes fall back to the
+    /// shared link — callers schedule co-located transfers on the CPU and
+    /// never ask for them.
+    pub fn link_between(&mut self, a: usize, b: usize) -> &mut Timeline {
+        let n = self.cpus.len();
+        let (a, b) = (a % n, b % n);
+        match &mut self.mesh {
+            Some(links) if a != b => {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                &mut links[pair_index(n, lo, hi)]
+            }
+            _ => &mut self.wan,
+        }
+    }
+
     /// Time the last reservation across all resources drains.
     pub fn busy_until(&self) -> Nanos {
         self.cpus
             .iter()
+            .chain(self.mesh.iter().flatten())
             .map(Timeline::busy_until)
             .chain(std::iter::once(self.wan.busy_until()))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Total CPU busy time reserved across every node, and the total
+    /// number of core lanes — the inputs to a cluster-wide CPU
+    /// utilization figure (`reserved / (lanes × horizon)`).
+    pub fn cpu_reserved(&self) -> (Nanos, usize) {
+        let reserved = self.cpus.iter().map(Timeline::reserved_ns).sum();
+        let lanes = self.cpus.iter().map(Timeline::capacity).sum();
+        (reserved, lanes)
+    }
+
+    /// Total link busy time reserved across every inter-node link, and
+    /// the number of link lanes. On a mesh, only the per-pair links
+    /// count — the vestigial shared-WAN timeline (reachable only through
+    /// the legacy [`link`](Self::link) accessor, never routed to by
+    /// [`link_between`](Self::link_between)) is excluded from both the
+    /// numerator and the lane count so utilization stays consistent.
+    pub fn link_reserved(&self) -> (Nanos, usize) {
+        match &self.mesh {
+            Some(links) => {
+                (links.iter().map(Timeline::reserved_ns).sum::<Nanos>(), links.len())
+            }
+            None => (self.wan.reserved_ns(), 1),
+        }
     }
 
     /// Clears all reservations, keeping the topology.
@@ -255,6 +370,9 @@ impl SchedResources {
             cpu.reset();
         }
         self.wan.reset();
+        for link in self.mesh.iter_mut().flatten() {
+            link.reset();
+        }
     }
 }
 
@@ -354,6 +472,74 @@ mod tests {
         let mut res = SchedResources::new(2, 4);
         res.cpu(2).reserve(0, 100); // wraps to node 0
         assert_eq!(res.cpu(0).busy_until(), 100);
+    }
+
+    #[test]
+    fn reserved_ns_accumulates_and_resets() {
+        let mut cpu = Timeline::new("cpu", 2);
+        cpu.reserve(0, 100);
+        cpu.reserve(0, 250);
+        cpu.reserve(50, 0); // zero-duration never counts
+        assert_eq!(cpu.reserved_ns(), 350);
+        cpu.reset();
+        assert_eq!(cpu.reserved_ns(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_follow_core_counts() {
+        let mut res = SchedResources::heterogeneous(&[2, 8, 4]);
+        assert_eq!(res.node_count(), 3);
+        assert_eq!(res.cpu(0).capacity(), 2);
+        assert_eq!(res.cpu(1).capacity(), 8);
+        assert_eq!(res.cpu(2).capacity(), 4);
+    }
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let n = 5;
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                assert!(seen.insert(pair_index(n, a, b)));
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+        assert_eq!(seen.iter().copied().max(), Some(n * (n - 1) / 2 - 1));
+    }
+
+    #[test]
+    fn mesh_links_do_not_contend_across_pairs() {
+        let mut res = SchedResources::mesh(&[4, 4, 4, 4]);
+        // 0↔1 and 2↔3 are disjoint pairs: both start at once.
+        let a = res.link_between(0, 1).reserve(0, 8_000);
+        let b = res.link_between(2, 3).reserve(0, 8_000);
+        assert_eq!((a, b), (0, 0));
+        // Same pair (either direction) queues.
+        let c = res.link_between(1, 0).reserve(0, 8_000);
+        assert_eq!(c, 8_000);
+    }
+
+    #[test]
+    fn shared_wan_resources_route_every_pair_onto_one_link() {
+        let mut res = SchedResources::new(3, 4);
+        let a = res.link_between(0, 1).reserve(0, 5_000);
+        let b = res.link_between(1, 2).reserve(0, 5_000);
+        assert_eq!((a, b), (0, 5_000));
+    }
+
+    #[test]
+    fn utilization_accounting_spans_cpus_and_links() {
+        let mut res = SchedResources::mesh(&[2, 2]);
+        res.cpu(0).reserve(0, 100);
+        res.cpu(1).reserve(0, 300);
+        res.link_between(0, 1).reserve(0, 700);
+        let (cpu_ns, lanes) = res.cpu_reserved();
+        assert_eq!((cpu_ns, lanes), (400, 4));
+        let (link_ns, links) = res.link_reserved();
+        assert_eq!((link_ns, links), (700, 1));
+        res.reset();
+        assert_eq!(res.cpu_reserved().0, 0);
+        assert_eq!(res.link_reserved().0, 0);
     }
 
     #[test]

@@ -8,10 +8,13 @@ use crate::net::Link;
 use crate::node::Node;
 
 /// A complete simulated deployment: nodes sharing one virtual clock and
-/// cost model, a WAN link between nodes, and a loopback link per node.
+/// cost model, inter-node links, and a loopback link per node.
 ///
 /// [`Testbed::paper`] reproduces §6.2: two 4-core/8 GB VMs connected by a
-/// 100 Mbit/s link with 1 ms RTT.
+/// 100 Mbit/s link with 1 ms RTT. Beyond the paper,
+/// [`ClusterSpec`](crate::cluster::ClusterSpec) builds N-node testbeds
+/// with heterogeneous nodes and a per-pair link mesh; everything below
+/// the testbed (shims, baselines, engines) is topology-agnostic.
 ///
 /// ```
 /// # use roadrunner_vkernel::Testbed;
@@ -25,6 +28,9 @@ pub struct Testbed {
     cost: Arc<CostModel>,
     nodes: Vec<Arc<Node>>,
     wan: Arc<Link>,
+    /// Per-pair links (upper-triangular order) for cluster-built
+    /// testbeds; `None` means every inter-node pair shares `wan`.
+    pair_links: Option<Vec<Arc<Link>>>,
     loopbacks: Vec<Arc<Link>>,
 }
 
@@ -46,7 +52,48 @@ impl Testbed {
             cost.mtu_bytes,
         );
         let loopbacks = (0..node_count).map(|i| Link::loopback(format!("lo-{i}"))).collect();
-        Self { clock, cost, nodes, wan, loopbacks }
+        Self { clock, cost, nodes, wan, pair_links: None, loopbacks }
+    }
+
+    /// Assembles a cluster testbed: heterogeneous nodes plus one link per
+    /// node pair (flattened upper-triangular order). Used by
+    /// [`ClusterSpec::build`](crate::cluster::ClusterSpec::build).
+    pub(crate) fn from_cluster(
+        specs: Vec<crate::cluster::NodeSpec>,
+        cost: CostModel,
+        pair_links: Vec<Arc<Link>>,
+    ) -> Self {
+        assert!(!specs.is_empty(), "a testbed needs at least one node");
+        debug_assert_eq!(pair_links.len(), specs.len() * specs.len().saturating_sub(1) / 2);
+        let clock = VirtualClock::new();
+        let cost = Arc::new(cost);
+        let nodes: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Node::new(
+                    format!("node-{i}"),
+                    s.cores,
+                    s.ram_bytes,
+                    clock.clone(),
+                    Arc::clone(&cost),
+                )
+            })
+            .collect();
+        // `wan()` keeps meaning "the first inter-node link" so existing
+        // telemetry helpers stay usable on clusters; single-node clusters
+        // get a default-shaped placeholder that nothing routes over.
+        let wan = pair_links.first().cloned().unwrap_or_else(|| {
+            Link::new("wan", cost.net_bandwidth_bps, cost.net_rtt_ns, cost.mtu_bytes)
+        });
+        let loopbacks = (0..specs.len()).map(|i| Link::loopback(format!("lo-{i}"))).collect();
+        Self { clock, cost, nodes, wan, pair_links: Some(pair_links), loopbacks }
+    }
+
+    /// Whether this testbed carries one link per node pair (cluster
+    /// layout) rather than a single shared WAN.
+    pub fn has_pair_links(&self) -> bool {
+        self.pair_links.is_some()
     }
 
     /// The paper's two-node edge–cloud testbed (§6.2).
@@ -92,12 +139,20 @@ impl Testbed {
         &self.loopbacks[i]
     }
 
-    /// Link to use between node `a` and node `b` (loopback when equal).
+    /// Link to use between node `a` and node `b` (loopback when equal;
+    /// the pair's own link on cluster testbeds, the shared WAN
+    /// otherwise).
     pub fn link_between(&self, a: usize, b: usize) -> &Arc<Link> {
         if a == b {
-            self.loopback(a)
-        } else {
-            self.wan()
+            return self.loopback(a);
+        }
+        match &self.pair_links {
+            Some(links) => {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                assert!(hi < self.nodes.len(), "link_between({a}, {b}) is out of range");
+                &links[crate::sched::pair_index(self.nodes.len(), lo, hi)]
+            }
+            None => self.wan(),
         }
     }
 
@@ -105,6 +160,9 @@ impl Testbed {
     /// benchmark repetitions.
     pub fn reset_telemetry(&self) {
         self.wan.reset();
+        for link in self.pair_links.iter().flatten() {
+            link.reset();
+        }
         for lo in &self.loopbacks {
             lo.reset();
         }
