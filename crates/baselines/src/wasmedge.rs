@@ -135,6 +135,25 @@ impl WasmedgePair {
         self
     }
 
+    /// Clamps every recorded placement (and the pair's node attribution)
+    /// onto the first `active_nodes` nodes, so a map written for a larger
+    /// cluster keeps attributing work to live timelines after the active
+    /// set shrank. Note the load generator never consults this map — its
+    /// `Placed` wrapper overrides placement per instance — so clamping
+    /// only matters when a pair is driven directly (e.g. handed to
+    /// `execute_concurrent` against downsized `SchedResources`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_nodes` is zero.
+    pub fn clamp_placements(&mut self, active_nodes: usize) {
+        crate::common::clamp_placement_map(
+            &mut self.placements,
+            [&mut self.node_a, &mut self.node_b],
+            active_nodes,
+        );
+    }
+
     fn invoke_charged(
         instance: &mut Instance,
         sandbox: &Sandbox,
@@ -325,6 +344,17 @@ mod tests {
         assert_eq!(DataPlane::placement(&pair, "src"), Some(0));
         assert_eq!(DataPlane::placement(&pair, "sink"), Some(1));
         assert_eq!(DataPlane::placement(&pair, "ghost"), None);
+    }
+
+    #[test]
+    fn clamping_rehomes_the_map_onto_the_active_set() {
+        let bed = Arc::new(Testbed::paper());
+        let mut pair =
+            WasmedgePair::establish(Arc::clone(&bed), 0, 1).place("src", 0).place("sink", 1);
+        pair.clamp_placements(1);
+        assert_eq!(pair.nodes(), (0, 0));
+        assert_eq!(DataPlane::placement(&pair, "sink"), Some(0));
+        assert_eq!(DataPlane::placement(&pair, "src"), Some(0));
     }
 
     #[test]

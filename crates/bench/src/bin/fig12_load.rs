@@ -39,8 +39,8 @@ use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
 use roadrunner_baselines::{RuncPair, WasmedgePair};
 use roadrunner_bench::{quick_flag, MB};
 use roadrunner_platform::{
-    execute, execute_concurrent, ArrivalProcess, ClusterNodes, DataPlane, FunctionBundle,
-    LocalityFirst, OpenLoop, PlacementPolicy, SpreadLoad, WorkflowSpec,
+    execute, execute_concurrent, ArrivalProcess, DataPlane, FunctionBundle, LocalityFirst,
+    OpenLoop, PlacementPolicy, SpreadLoad, WorkflowSpec,
 };
 use roadrunner_vkernel::{secs, ClusterSpec, Nanos, SchedResources, Testbed};
 use roadrunner_wasm::encode;
@@ -219,6 +219,7 @@ fn main() {
                         payload: payload.clone(),
                         arrivals: ArrivalProcess::Uniform { interval_ns },
                         instances,
+                        cold_start_ns: None,
                     };
                     let run = load
                         .run(
@@ -226,7 +227,6 @@ fn main() {
                             &bed.clock().clone(),
                             &mut resources,
                             policy.as_mut(),
-                            &ClusterNodes::of(&bed),
                         )
                         .expect("load run");
                     for outcome in &run.outcomes {

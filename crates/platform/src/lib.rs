@@ -17,12 +17,15 @@
 //! * [`workflow`] — the execution engines over a pluggable
 //!   [`workflow::DataPlane`]: a serial engine and a discrete-event
 //!   concurrent engine that overlaps independent edges in virtual time.
-//! * [`loadgen`] — open-loop multi-tenant load generation: many
-//!   concurrent workflow instances admitted at a configurable arrival
-//!   rate onto shared scheduler timelines, placed per instance by a
-//!   [`scheduler::PlacementPolicy`].
+//! * [`loadgen`] — multi-tenant load generation and the elastic control
+//!   loop: open- and closed-loop drivers over one completion-event
+//!   engine, instances placed per arrival by a
+//!   [`scheduler::PlacementPolicy`] observing the live
+//!   [`ResourceView`](roadrunner_vkernel::ResourceView), optional
+//!   cold-start admission, and a backlog-driven [`loadgen::Autoscaler`]
+//!   resizing capacity mid-run.
 //! * [`metrics`] — sample collection, summaries and latency percentile
-//!   digests for the harness.
+//!   digests (exact nearest-rank and streaming P²) for the harness.
 //!
 //! ```
 //! use roadrunner_platform::bundle::FunctionBundle;
@@ -58,11 +61,17 @@ pub use bundle::{BundleKind, FunctionBundle, Manifest};
 pub use dag::WorkflowDag;
 pub use deploy::{DeployedFunction, Deployment};
 pub use error::PlatformError;
-pub use loadgen::{ArrivalProcess, InstanceOutcome, LoadRun, OpenLoop, Placed};
-pub use metrics::{percentiles, MetricsCollector, PercentileSummary, Sample, Summary};
+pub use loadgen::{
+    ArrivalProcess, Autoscaler, AutoscalerConfig, ClosedLoop, InstanceOutcome, LoadRun, OpenLoop,
+    Placed, ScaleAction, ScaleEvent,
+};
+pub use metrics::{
+    percentiles, MetricsCollector, P2Quantile, PercentileSummary, Sample, StreamingPercentiles,
+    Summary, STREAMING_EXACT_MAX,
+};
 pub use registry::FunctionRegistry;
 pub use scheduler::{
-    ClusterNodes, LocalityFirst, Pinned, Placement, PlacementPolicy, RoundRobin, Scheduler,
+    LocalityFirst, PackThenSpill, Pinned, Placement, PlacementPolicy, RoundRobin, Scheduler,
     SpreadLoad,
 };
 pub use workflow::{

@@ -1,30 +1,43 @@
-//! Open-loop multi-tenant load generation.
+//! Multi-tenant load generation and the elastic control loop.
 //!
 //! The paper evaluates one workflow at a time; a platform serves many at
-//! once. This module admits a stream of workflow *instances* at a
-//! configurable arrival rate onto **shared**
-//! [`SchedResources`] timelines: each instance is placed by a
-//! [`PlacementPolicy`], released at its arrival time via
-//! [`execute_concurrent_at`],
-//! and its edges reserve the same per-node core lanes and per-pair links
-//! every other in-flight instance reserves — so independent instances
-//! genuinely contend for cores and links in virtual time.
+//! once. This module admits streams of workflow *instances* onto
+//! **shared** [`SchedResources`] timelines through one completion-event
+//! engine: every admission pops from a deterministic event queue, takes a
+//! live [`ResourceView`] snapshot, asks the [`PlacementPolicy`] where the
+//! instance goes, charges an optional cold start for functions landing on
+//! a node for the first time, and executes the instance at its release
+//! time via [`execute_concurrent_at`] — so every in-flight instance
+//! contends for the same per-node core lanes and per-pair links in
+//! virtual time. Completion events close the loop: they gate the next
+//! arrival of a closed-loop user and give the [`Autoscaler`] its
+//! observation points.
 //!
-//! The generator is *open-loop*: arrivals do not wait for completions
-//! (the classic serverless traffic model — users do not coordinate), so
-//! offered load can exceed capacity and queueing shows up as growing
-//! sojourn times rather than a throttled arrival stream. Admission is
-//! FIFO in arrival order: an earlier instance's reservations are placed
-//! before a later instance's, the discipline of a work-conserving
-//! platform queue.
+//! Two drivers share the engine:
+//!
+//! * [`OpenLoop`] — arrivals do not wait for completions (the classic
+//!   serverless traffic model — users do not coordinate), so offered
+//!   load can exceed capacity and queueing shows up as growing sojourn
+//!   times rather than a throttled arrival stream.
+//! * [`ClosedLoop`] — N virtual users each keep exactly one instance in
+//!   flight: a user's next arrival fires only after its previous
+//!   instance completed plus a think time. Saturation throughput is
+//!   measured directly instead of read off the achieved-vs-offered gap.
+//!
+//! Admission is FIFO in arrival order: an earlier instance's
+//! reservations are placed before a later instance's, the discipline of
+//! a work-conserving platform queue. The optional [`Autoscaler`] watches
+//! the windowed backlog signal from the live view at every event and
+//! grows/shrinks the active node set through the resizable
+//! [`SchedResources`] — capacity changes mid-run, between instances.
 
 use bytes::Bytes;
-use roadrunner_vkernel::sched::SchedResources;
+use roadrunner_vkernel::sched::{EventQueue, ResourceView, SchedResources};
 use roadrunner_vkernel::{Nanos, VirtualClock};
 
 use crate::error::PlatformError;
-use crate::metrics::{percentiles, PercentileSummary};
-use crate::scheduler::{ClusterNodes, PlacementPolicy};
+use crate::metrics::{percentiles, PercentileSummary, StreamingPercentiles};
+use crate::scheduler::PlacementPolicy;
 use crate::workflow::{execute_concurrent_at, DataPlane, TransferTiming, WorkflowSpec};
 
 /// The inter-arrival process of an open-loop workload.
@@ -148,56 +161,134 @@ impl DataPlane for Placed<'_> {
 pub struct InstanceOutcome {
     /// Instance index in admission order.
     pub instance: usize,
-    /// Arrival (= release) time on the shared timescale.
+    /// The virtual user that issued the instance (equals `instance` for
+    /// open-loop runs, the user slot for closed-loop runs).
+    pub user: usize,
+    /// Arrival time on the shared timescale.
     pub release_ns: Nanos,
+    /// Cold-start delay charged before the instance's edges could start
+    /// (0 when every function was already warm on its node).
+    pub cold_start_ns: Nanos,
     /// When the instance's last edge finished.
     pub finish_ns: Nanos,
-    /// Sojourn time: `finish_ns - release_ns` (queueing + service).
+    /// Sojourn time: `finish_ns - release_ns` (cold start + queueing +
+    /// service).
     pub sojourn_ns: Nanos,
     /// The nodes the policy assigned, indexed by DAG node.
     pub assignment: Vec<usize>,
 }
 
-/// Aggregate result of one open-loop run.
+/// One autoscaler decision, for the scale-event trace the elastic
+/// experiments emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// When the decision fired (virtual time).
+    pub at_ns: Nanos,
+    /// Direction.
+    pub action: ScaleAction,
+    /// Active node count after the action.
+    pub nodes_after: usize,
+    /// The windowed mean-backlog signal that triggered it.
+    pub signal_ns: Nanos,
+}
+
+/// Direction of a scale event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// A node was added.
+    Up,
+    /// The last node was removed.
+    Down,
+}
+
+/// Aggregate result of one load-generation run (open- or closed-loop).
 #[derive(Debug, Clone)]
 pub struct LoadRun {
     /// Per-instance outcomes in admission order.
     pub outcomes: Vec<InstanceOutcome>,
     /// First release to last finish — the horizon utilizations are
-    /// normalized by.
+    /// normalized by. 0 for an empty run.
     pub horizon_ns: Nanos,
     /// Offered arrival rate (instances per second of virtual time,
-    /// `1 / mean inter-arrival gap`). Note that achieved throughput
+    /// `1 / mean inter-arrival gap`) for open-loop runs; for closed-loop
+    /// runs this equals the achieved rate (a closed loop offers exactly
+    /// what completes). Note that achieved throughput
     /// ([`LoadRun::throughput_rps`]) can slightly exceed this under
-    /// light load with few instances: the horizon ends at the last
+    /// light open load with few instances: the horizon ends at the last
     /// *completion*, which then trails the last arrival by less than one
     /// inter-arrival gap.
     pub offered_rps: f64,
-    /// Core-lane utilization over the horizon: Σ reserved CPU time /
-    /// (total core lanes × horizon).
+    /// Core-lane utilization over the horizon: Σ reserved CPU time
+    /// divided by the **time-weighted** active core-lane capacity
+    /// (∫ active lanes dt across the event timeline), so the figure
+    /// stays comparable when an autoscaler resizes the cluster mid-run.
+    /// For fixed capacity this reduces to the classic
+    /// `reserved / (lanes × horizon)`.
     pub cpu_utilization: f64,
-    /// Link utilization over the horizon.
+    /// Link utilization over the horizon (same time-weighted
+    /// normalization).
     pub link_utilization: f64,
+    /// The autoscaler's decision trace (empty without an autoscaler).
+    pub scale_events: Vec<ScaleEvent>,
+    /// Active node count when the run ended.
+    pub final_nodes: usize,
 }
+
+/// Instance-count threshold above which [`LoadRun::sojourn_percentiles`]
+/// switches from the exact nearest-rank digest (sorts a full copy) to
+/// the constant-space streaming P² digest.
+pub const STREAMING_DIGEST_MIN: usize = 4_096;
 
 impl LoadRun {
     /// Completed instances per second of virtual time over the horizon.
+    ///
+    /// Empty-run contract: an empty run reports `0.0` (nothing
+    /// completed), and a non-empty run whose horizon is zero (every
+    /// instance completed at its release instant) reports
+    /// `f64::INFINITY` — so `0.0` always means "no throughput", never
+    /// "instant throughput".
     pub fn throughput_rps(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
         if self.horizon_ns == 0 {
             return f64::INFINITY;
         }
         self.outcomes.len() as f64 * 1e9 / self.horizon_ns as f64
     }
 
-    /// Sojourn-time percentile digest; `None` for an empty run.
+    /// Sojourn-time percentile digest; `None` for an empty run. Uses the
+    /// exact nearest-rank path below [`STREAMING_DIGEST_MIN`] instances
+    /// and the streaming P² estimator at or above it (large runs would
+    /// otherwise sort a full copy per call).
     pub fn sojourn_percentiles(&self) -> Option<PercentileSummary> {
-        let sojourns: Vec<Nanos> = self.outcomes.iter().map(|o| o.sojourn_ns).collect();
-        percentiles(&sojourns)
+        if self.outcomes.len() >= STREAMING_DIGEST_MIN {
+            let mut digest = StreamingPercentiles::new();
+            for o in &self.outcomes {
+                digest.record(o.sojourn_ns);
+            }
+            digest.summary()
+        } else {
+            let sojourns: Vec<Nanos> = self.outcomes.iter().map(|o| o.sojourn_ns).collect();
+            percentiles(&sojourns)
+        }
     }
 
-    /// The slowest instance's sojourn.
-    pub fn max_sojourn_ns(&self) -> Nanos {
-        self.outcomes.iter().map(|o| o.sojourn_ns).max().unwrap_or(0)
+    /// The slowest instance's sojourn; `None` for an empty run (so an
+    /// empty run is distinguishable from one whose slowest sojourn was
+    /// genuinely zero).
+    pub fn max_sojourn_ns(&self) -> Option<Nanos> {
+        self.outcomes.iter().map(|o| o.sojourn_ns).max()
+    }
+
+    /// Total cold-start time charged across all instances.
+    pub fn cold_start_total_ns(&self) -> Nanos {
+        self.outcomes.iter().map(|o| o.cold_start_ns).sum()
+    }
+
+    /// Number of instances that paid a nonzero cold start.
+    pub fn cold_starts(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cold_start_ns > 0).count()
     }
 }
 
@@ -213,6 +304,10 @@ pub struct OpenLoop {
     pub arrivals: ArrivalProcess,
     /// Number of instances to admit.
     pub instances: usize,
+    /// Fig. 2a-style cold-start cost charged (on the node's CPU
+    /// timeline) the first time each function lands on a node; `None`
+    /// admits every instance warm.
+    pub cold_start_ns: Option<Nanos>,
 }
 
 impl OpenLoop {
@@ -233,51 +328,418 @@ impl OpenLoop {
         clock: &VirtualClock,
         resources: &mut SchedResources,
         policy: &mut dyn PlacementPolicy,
-        cluster: &ClusterNodes,
     ) -> Result<LoadRun, PlatformError> {
-        let (cpu0, cpu_lanes) = resources.cpu_reserved();
-        let (link0, link_lanes) = resources.link_reserved();
-        let releases = self.arrivals.times(self.instances);
-        let mut outcomes = Vec::with_capacity(self.instances);
-        for (instance, &release_ns) in releases.iter().enumerate() {
-            let assignment = policy.assign(&self.spec, cluster);
-            let mut placed = Placed::new(plane, &self.spec, &assignment);
-            let run = execute_concurrent_at(
-                &mut placed,
-                clock,
-                &self.spec,
-                self.payload.clone(),
-                resources,
-                release_ns,
-            )?;
-            outcomes.push(InstanceOutcome {
-                instance,
-                release_ns,
-                finish_ns: release_ns + run.total_latency_ns,
-                sojourn_ns: run.total_latency_ns,
-                assignment,
-            });
-        }
-        let first = outcomes.first().map(|o| o.release_ns).unwrap_or(0);
-        let last = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(first);
-        let horizon_ns = last - first;
-        let (cpu1, _) = resources.cpu_reserved();
-        let (link1, _) = resources.link_reserved();
-        let util = |used: Nanos, lanes: usize| {
-            if horizon_ns == 0 || lanes == 0 {
-                0.0
-            } else {
-                used as f64 / (lanes as f64 * horizon_ns as f64)
-            }
+        self.run_elastic(plane, clock, resources, policy, None)
+    }
+
+    /// [`run`](Self::run) with an [`Autoscaler`] in the loop: capacity
+    /// grows and shrinks between instances as the controller reacts to
+    /// the live backlog signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or transfer error.
+    pub fn run_elastic(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+        autoscaler: Option<&mut Autoscaler>,
+    ) -> Result<LoadRun, PlatformError> {
+        let mut run = drive(
+            &self.spec,
+            &self.payload,
+            Admission::Open { releases: self.arrivals.times(self.instances) },
+            self.cold_start_ns,
+            plane,
+            clock,
+            resources,
+            policy,
+            autoscaler,
+        )?;
+        // Empty-run contract: a run that admits nothing offers nothing.
+        run.offered_rps = if self.instances == 0 {
+            0.0
+        } else {
+            1e9 / self.arrivals.mean_interval_ns().max(1) as f64
         };
-        let offered_rps = 1e9 / self.arrivals.mean_interval_ns().max(1) as f64;
-        Ok(LoadRun {
-            outcomes,
-            horizon_ns,
-            offered_rps,
-            cpu_utilization: util(cpu1 - cpu0, cpu_lanes),
-            link_utilization: util(link1 - link0, link_lanes),
-        })
+        Ok(run)
+    }
+}
+
+/// A closed-loop workload: `users` virtual users each keep one instance
+/// of `spec` in flight, thinking for `think_ns` between a completion and
+/// their next request, until `instances` total have completed.
+///
+/// Concurrency is bounded by construction — at most `users` instances
+/// ever overlap — and each user's arrivals are gated on its own
+/// completions, so throughput saturates at what the cluster actually
+/// sustains (the directly measured saturation throughput the elastic
+/// experiments report).
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    /// The workflow every instance runs.
+    pub spec: WorkflowSpec,
+    /// Payload injected into every instance's roots.
+    pub payload: Bytes,
+    /// Number of concurrent virtual users.
+    pub users: usize,
+    /// Think time between a user's completion and its next arrival.
+    pub think_ns: Nanos,
+    /// Ramp-up stagger: user `u`'s first arrival fires at `u × ramp_ns`
+    /// (0 starts every user at once). Ramping is how closed-loop
+    /// harnesses avoid measuring the artificial thundering herd of a
+    /// simultaneous start instead of steady-state queueing.
+    pub ramp_ns: Nanos,
+    /// Total instances to admit across all users.
+    pub instances: usize,
+    /// Fig. 2a-style cold-start cost charged (on the node's CPU
+    /// timeline) the first time each function lands on a node; `None`
+    /// admits every instance warm.
+    pub cold_start_ns: Option<Nanos>,
+}
+
+impl ClosedLoop {
+    /// Drives the closed loop onto `resources` (see [`OpenLoop::run`]
+    /// for the sharing semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or transfer error.
+    pub fn run(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+    ) -> Result<LoadRun, PlatformError> {
+        self.run_elastic(plane, clock, resources, policy, None)
+    }
+
+    /// [`run`](Self::run) with an [`Autoscaler`] in the loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or transfer error.
+    pub fn run_elastic(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+        autoscaler: Option<&mut Autoscaler>,
+    ) -> Result<LoadRun, PlatformError> {
+        assert!(self.users > 0, "a closed loop needs at least one user");
+        let mut run = drive(
+            &self.spec,
+            &self.payload,
+            Admission::Closed {
+                users: self.users,
+                think_ns: self.think_ns,
+                ramp_ns: self.ramp_ns,
+                instances: self.instances,
+            },
+            self.cold_start_ns,
+            plane,
+            clock,
+            resources,
+            policy,
+            autoscaler,
+        )?;
+        // A closed loop offers exactly what it completes.
+        run.offered_rps = run.throughput_rps();
+        Ok(run)
+    }
+}
+
+/// How the engine admits instances.
+enum Admission {
+    /// Pre-scheduled arrival times (instance k = user k).
+    Open { releases: Vec<Nanos> },
+    /// `users` slots seeded `ramp_ns` apart, each re-arming `think_ns`
+    /// after its completion, until `instances` total have been admitted.
+    Closed { users: usize, think_ns: Nanos, ramp_ns: Nanos, instances: usize },
+}
+
+/// Engine events: an instance arriving for admission, or one completing.
+enum LoadEvent {
+    Arrival { user: usize },
+    Completion { user: usize },
+}
+
+/// The shared completion-event engine behind [`OpenLoop`] and
+/// [`ClosedLoop`].
+///
+/// Events drain in deterministic time order (FIFO among equals). Each
+/// arrival snapshots the live view, places, charges cold starts, and
+/// executes the instance at its release; each completion re-arms its
+/// closed-loop user. The autoscaler (when present) observes at *every*
+/// event, so it sees both pressure building (arrivals) and draining
+/// (completions).
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    spec: &WorkflowSpec,
+    payload: &Bytes,
+    admission: Admission,
+    cold_start_ns: Option<Nanos>,
+    plane: &mut dyn DataPlane,
+    clock: &VirtualClock,
+    resources: &mut SchedResources,
+    policy: &mut dyn PlacementPolicy,
+    mut autoscaler: Option<&mut Autoscaler>,
+) -> Result<LoadRun, PlatformError> {
+    let (cpu0, _) = resources.cpu_reserved();
+    let (link0, _) = resources.link_reserved();
+
+    let mut queue: EventQueue<LoadEvent> = EventQueue::new();
+    // Closed-loop admission bookkeeping: how many instances have been
+    // admitted so far, against the total bound.
+    let (mut admitted, instance_bound, think_ns) = match &admission {
+        Admission::Open { releases } => {
+            for (user, &at) in releases.iter().enumerate() {
+                queue.push(at, LoadEvent::Arrival { user });
+            }
+            (releases.len(), releases.len(), 0)
+        }
+        Admission::Closed { users, think_ns, ramp_ns, instances } => {
+            let seed = (*users).min(*instances);
+            for user in 0..seed {
+                queue.push(user as Nanos * ramp_ns, LoadEvent::Arrival { user });
+            }
+            (seed, *instances, *think_ns)
+        }
+    };
+    let mut outcomes: Vec<InstanceOutcome> = Vec::new();
+    // Warm set for cold-start admission: (function index, node).
+    let mut warm: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut known_nodes = resources.node_count();
+    // Time-weighted active-lane capacity (∫ lanes dt over the event
+    // timeline) — the utilization denominators under elastic capacity.
+    // Lane counts only change at scale events, so they are cached and
+    // refreshed when the node count moves.
+    let mut prev_event_ns: Option<Nanos> = None;
+    let mut cpu_lane_ns: u128 = 0;
+    let mut link_lane_ns: u128 = 0;
+    let mut cpu_lanes = resources.cpu_lanes();
+    let mut link_lanes = resources.link_lanes();
+
+    while let Some((now, event)) = queue.pop() {
+        // Integrate the lane capacity that was active since the last
+        // event, before the autoscaler gets a chance to change it.
+        if let Some(prev) = prev_event_ns {
+            let dt = u128::from(now - prev);
+            cpu_lane_ns += dt * cpu_lanes as u128;
+            link_lane_ns += dt * link_lanes as u128;
+        }
+        prev_event_ns = Some(now);
+        let scaled_view = autoscaler.as_deref_mut().map(|s| s.observe(now, resources));
+        let nodes_now = resources.node_count();
+        if nodes_now != known_nodes {
+            // Scale-in drops node timelines: anything warmed on a
+            // removed node must re-pay its cold start if the index is
+            // later re-added (a re-added node is a brand-new machine).
+            if nodes_now < known_nodes {
+                warm.retain(|&(_, node)| node < nodes_now);
+            }
+            cpu_lanes = resources.cpu_lanes();
+            link_lanes = resources.link_lanes();
+            known_nodes = nodes_now;
+        }
+        match event {
+            LoadEvent::Arrival { user } => {
+                let view: ResourceView =
+                    scaled_view.unwrap_or_else(|| resources.view(now));
+                let assignment = policy.place(spec, &view);
+                // Charge cold starts: every (function, node) pair seen
+                // for the first time reserves the fig2a-style cost on
+                // the node's CPU, delaying this instance's release.
+                let mut release = now;
+                if let Some(cold) = cold_start_ns {
+                    for (fi, &node) in assignment.iter().enumerate() {
+                        if warm.insert((fi, node)) {
+                            let start = resources.cpu(node).reserve(now, cold);
+                            release = release.max(start + cold);
+                        }
+                    }
+                }
+                let mut placed = Placed::new(plane, spec, &assignment);
+                let run = execute_concurrent_at(
+                    &mut placed,
+                    clock,
+                    spec,
+                    payload.clone(),
+                    resources,
+                    release,
+                )?;
+                let finish = release + run.total_latency_ns;
+                let instance = outcomes.len();
+                outcomes.push(InstanceOutcome {
+                    instance,
+                    user,
+                    release_ns: now,
+                    cold_start_ns: release - now,
+                    finish_ns: finish,
+                    sojourn_ns: finish - now,
+                    assignment,
+                });
+                queue.push(finish, LoadEvent::Completion { user });
+            }
+            LoadEvent::Completion { user } => {
+                // Closed loop: the freed user thinks, then re-arrives —
+                // the arrival is gated on this completion by
+                // construction.
+                if matches!(admission, Admission::Closed { .. }) && admitted < instance_bound {
+                    admitted += 1;
+                    queue.push(now + think_ns, LoadEvent::Arrival { user });
+                }
+            }
+        }
+    }
+
+    let first = outcomes.first().map(|o| o.release_ns).unwrap_or(0);
+    let last = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(first);
+    let horizon_ns = last - first;
+    let (cpu1, _) = resources.cpu_reserved();
+    let (link1, _) = resources.link_reserved();
+    let util = |used: Nanos, lane_ns: u128| {
+        if lane_ns == 0 {
+            0.0
+        } else {
+            used as f64 / lane_ns as f64
+        }
+    };
+    Ok(LoadRun {
+        outcomes,
+        horizon_ns,
+        offered_rps: 0.0, // the drivers fill this in
+        cpu_utilization: util(cpu1 - cpu0, cpu_lane_ns),
+        link_utilization: util(link1 - link0, link_lane_ns),
+        scale_events: autoscaler.map(|a| a.events().to_vec()).unwrap_or_default(),
+        final_nodes: resources.node_count(),
+    })
+}
+
+/// Configuration of the backlog-driven [`Autoscaler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscalerConfig {
+    /// Never shrink below this many nodes.
+    pub min_nodes: usize,
+    /// Never grow beyond this many nodes.
+    pub max_nodes: usize,
+    /// Core count of every node the controller adds.
+    pub node_cores: u32,
+    /// Scale **up** when the windowed mean per-node backlog exceeds
+    /// this.
+    pub scale_up_backlog_ns: Nanos,
+    /// Scale **down** when the windowed mean per-node backlog falls
+    /// below this *and* the last node has fully drained.
+    pub scale_down_backlog_ns: Nanos,
+    /// Observation window; also the minimum gap between two decisions
+    /// (the cooldown that keeps the controller from flapping on one
+    /// bursty arrival).
+    pub window_ns: Nanos,
+}
+
+/// The elastic controller: watches the windowed mean-backlog signal from
+/// live [`ResourceView`] snapshots and resizes the [`SchedResources`]
+/// between instances.
+///
+/// The engine calls [`observe`](Self::observe) at every load event
+/// (arrivals *and* completions). Each observation appends the view's
+/// [`mean_backlog_ns`](ResourceView::mean_backlog_ns) to a sliding
+/// window; once per `window_ns` the controller compares the window mean
+/// against the two thresholds and adds ([`SchedResources::add_node`]) or
+/// removes ([`SchedResources::remove_last_node`]) one node. Scale-in is
+/// drain-safe: the last node is only removed once its own CPU backlog
+/// *and* every one of its pair links have drained, so no in-flight
+/// reservation is orphaned mid-instance.
+#[derive(Debug)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    /// Sliding window of (time, mean-backlog) samples.
+    window: Vec<(Nanos, Nanos)>,
+    last_decision_ns: Nanos,
+    events: Vec<ScaleEvent>,
+}
+
+impl Autoscaler {
+    /// A fresh controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_nodes` is zero or exceeds `max_nodes`, or if
+    /// `window_ns` is zero.
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        assert!(cfg.min_nodes > 0, "the cluster cannot shrink to zero nodes");
+        assert!(cfg.min_nodes <= cfg.max_nodes, "min_nodes must not exceed max_nodes");
+        assert!(cfg.window_ns > 0, "a zero observation window would decide on every event");
+        Self { cfg, window: Vec::new(), last_decision_ns: 0, events: Vec::new() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.cfg
+    }
+
+    /// The decisions taken so far, in order.
+    pub fn events(&self) -> &[ScaleEvent] {
+        &self.events
+    }
+
+    /// Forgets window samples and the decision trace (between runs);
+    /// keeps the configuration.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.last_decision_ns = 0;
+        self.events.clear();
+    }
+
+    /// One observation at virtual time `now`: record the live backlog
+    /// signal and, at most once per window, act on it. Returns a view
+    /// that is **current after any decision** (freshly re-snapshotted
+    /// when the observation resized the cluster), so callers placing an
+    /// instance at the same event need not snapshot twice.
+    pub fn observe(&mut self, now: Nanos, resources: &mut SchedResources) -> ResourceView {
+        let view = resources.view(now);
+        self.window.push((now, view.mean_backlog_ns()));
+        let cutoff = now.saturating_sub(self.cfg.window_ns);
+        self.window.retain(|&(t, _)| t >= cutoff);
+        if now.saturating_sub(self.last_decision_ns) < self.cfg.window_ns {
+            return view;
+        }
+        let signal = self.window.iter().map(|&(_, b)| b).sum::<Nanos>()
+            / self.window.len().max(1) as u64;
+        let nodes = resources.node_count();
+        if signal > self.cfg.scale_up_backlog_ns && nodes < self.cfg.max_nodes {
+            resources.add_node(self.cfg.node_cores);
+            self.events.push(ScaleEvent {
+                at_ns: now,
+                action: ScaleAction::Up,
+                nodes_after: nodes + 1,
+                signal_ns: signal,
+            });
+            self.last_decision_ns = now;
+        } else if signal < self.cfg.scale_down_backlog_ns
+            && nodes > self.cfg.min_nodes
+            && view.node(nodes - 1).backlog_ns == 0
+            // The departing node's pair links must have drained too —
+            // an in-flight transfer still occupies its wire even after
+            // the node's own CPU went idle.
+            && (0..nodes - 1).all(|o| view.link_backlog_between(o, nodes - 1) == 0)
+        {
+            resources.remove_last_node();
+            self.events.push(ScaleEvent {
+                at_ns: now,
+                action: ScaleAction::Down,
+                nodes_after: nodes - 1,
+                signal_ns: signal,
+            });
+            self.last_decision_ns = now;
+        } else {
+            return view;
+        }
+        resources.view(now)
     }
 }
 
@@ -328,6 +790,16 @@ mod tests {
         WorkflowSpec::sequence("pipe", "t", ["a".to_owned(), "b".to_owned()])
     }
 
+    fn open(spec: WorkflowSpec, interval_ns: Nanos, instances: usize) -> OpenLoop {
+        OpenLoop {
+            spec,
+            payload: Bytes::new(),
+            arrivals: ArrivalProcess::Uniform { interval_ns },
+            instances,
+            cold_start_ns: None,
+        }
+    }
+
     #[test]
     fn uniform_arrivals_are_evenly_spaced() {
         let times = ArrivalProcess::Uniform { interval_ns: 250 }.times(4);
@@ -368,7 +840,6 @@ mod tests {
         let clock = VirtualClock::new();
         let mut plane = FixedPlane::new(clock.clone());
         let spec = pipeline_spec();
-        let cluster = ClusterNodes::new(vec![1, 1]);
 
         // Uncontended makespan of one instance under locality placement.
         let mut fresh = SchedResources::heterogeneous(&[1, 1]);
@@ -379,16 +850,10 @@ mod tests {
         assert_eq!(solo, 1_500);
 
         // Heavy load: arrivals far faster than the 1-core nodes drain.
-        let load = OpenLoop {
-            spec: spec.clone(),
-            payload: Bytes::new(),
-            arrivals: ArrivalProcess::Uniform { interval_ns: 100 },
-            instances: 12,
-        };
+        let load = open(spec.clone(), 100, 12);
         let mut shared = SchedResources::heterogeneous(&[1, 1]);
         let mut policy = LocalityFirst::new();
-        let run =
-            load.run(&mut plane, &clock, &mut shared, &mut policy, &cluster).unwrap();
+        let run = load.run(&mut plane, &clock, &mut shared, &mut policy).unwrap();
         assert_eq!(run.outcomes.len(), 12);
         for outcome in &run.outcomes {
             assert!(
@@ -410,21 +875,15 @@ mod tests {
         let clock = VirtualClock::new();
         let mut plane = FixedPlane::new(clock.clone());
         let spec = pipeline_spec();
-        let cluster = ClusterNodes::new(vec![4, 4]);
-        let load = OpenLoop {
-            spec: spec.clone(),
-            payload: Bytes::new(),
-            arrivals: ArrivalProcess::Uniform { interval_ns: 1_000_000 },
-            instances: 5,
-        };
+        let load = open(spec.clone(), 1_000_000, 5);
         let mut shared = SchedResources::new(2, 4);
         let mut policy = LocalityFirst::new();
-        let run =
-            load.run(&mut plane, &clock, &mut shared, &mut policy, &cluster).unwrap();
+        let run = load.run(&mut plane, &clock, &mut shared, &mut policy).unwrap();
         // Arrivals 1 ms apart, service 1.5 µs: nothing ever queues.
         assert!(run.outcomes.iter().all(|o| o.sojourn_ns == 1_500));
         let p = run.sojourn_percentiles().unwrap();
         assert_eq!((p.p50_ns, p.p95_ns, p.p99_ns), (1_500, 1_500, 1_500));
+        assert_eq!(run.max_sojourn_ns(), Some(1_500));
     }
 
     #[test]
@@ -432,24 +891,17 @@ mod tests {
         let clock = VirtualClock::new();
         let mut plane = FixedPlane::new(clock.clone());
         let spec = pipeline_spec();
-        let cluster = ClusterNodes::new(vec![4, 4]);
-        let load = OpenLoop {
-            spec: spec.clone(),
-            payload: Bytes::new(),
-            arrivals: ArrivalProcess::Uniform { interval_ns: 10_000 },
-            instances: 4,
-        };
+        let load = open(spec.clone(), 10_000, 4);
 
         let mut res = SchedResources::new(2, 4);
         let mut locality = LocalityFirst::new();
-        let packed =
-            load.run(&mut plane, &clock, &mut res, &mut locality, &cluster).unwrap();
+        let packed = load.run(&mut plane, &clock, &mut res, &mut locality).unwrap();
         assert!((packed.link_utilization - 0.0).abs() < f64::EPSILON);
         assert!(packed.cpu_utilization > 0.0);
 
         let mut res = SchedResources::new(2, 4);
         let mut spread = SpreadLoad::new();
-        let crossed = load.run(&mut plane, &clock, &mut res, &mut spread, &cluster).unwrap();
+        let crossed = load.run(&mut plane, &clock, &mut res, &mut spread).unwrap();
         assert!(crossed.link_utilization > 0.0);
         // Every instance's a→b crosses nodes under spread.
         assert!(crossed.outcomes.iter().all(|o| o.assignment[0] != o.assignment[1]));
@@ -464,18 +916,347 @@ mod tests {
             }
         }
         let clock = VirtualClock::new();
-        let load = OpenLoop {
+        let load = open(pipeline_spec(), 1, 2);
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        assert!(matches!(
+            load.run(&mut Failing, &clock, &mut res, &mut policy),
+            Err(PlatformError::Transfer(_))
+        ));
+    }
+
+    #[test]
+    fn empty_run_reports_zeroes_not_nan() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let load = open(pipeline_spec(), 1_000, 0);
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
+        assert!(run.outcomes.is_empty());
+        assert_eq!(run.horizon_ns, 0);
+        assert_eq!(run.throughput_rps(), 0.0);
+        assert_eq!(run.offered_rps, 0.0, "an empty run offers nothing");
+        assert_eq!(run.max_sojourn_ns(), None);
+        assert!(run.sojourn_percentiles().is_none());
+        assert_eq!(run.cpu_utilization, 0.0);
+        assert_eq!(run.link_utilization, 0.0);
+    }
+
+    #[test]
+    fn single_instance_run_is_consistent() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let load = open(pipeline_spec(), 1_000, 1);
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
+        assert_eq!(run.outcomes.len(), 1);
+        assert_eq!(run.horizon_ns, 1_500);
+        assert!(run.throughput_rps().is_finite());
+        assert!(run.throughput_rps() > 0.0);
+        assert_eq!(run.max_sojourn_ns(), Some(1_500));
+        let p = run.sojourn_percentiles().unwrap();
+        assert_eq!((p.count, p.p50_ns, p.p99_ns), (1, 1_500, 1_500));
+    }
+
+    #[test]
+    fn closed_loop_gates_arrivals_on_completions() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let load = ClosedLoop {
             spec: pipeline_spec(),
             payload: Bytes::new(),
-            arrivals: ArrivalProcess::Uniform { interval_ns: 1 },
-            instances: 2,
+            users: 2,
+            think_ns: 400,
+            ramp_ns: 0,
+            instances: 8,
+            cold_start_ns: None,
         };
         let mut res = SchedResources::new(2, 4);
         let mut policy = LocalityFirst::new();
-        let cluster = ClusterNodes::new(vec![4, 4]);
-        assert!(matches!(
-            load.run(&mut Failing, &clock, &mut res, &mut policy, &cluster),
-            Err(PlatformError::Transfer(_))
-        ));
+        let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
+        assert_eq!(run.outcomes.len(), 8);
+        // Per user: arrival k is exactly completion k-1 plus think time.
+        for user in 0..2 {
+            let mine: Vec<&InstanceOutcome> =
+                run.outcomes.iter().filter(|o| o.user == user).collect();
+            assert_eq!(mine.len(), 4);
+            for pair in mine.windows(2) {
+                assert_eq!(pair[1].release_ns, pair[0].finish_ns + 400);
+            }
+        }
+        // Closed loop: offered equals achieved by definition.
+        assert_eq!(run.offered_rps, run.throughput_rps());
+    }
+
+    #[test]
+    fn closed_loop_concurrency_never_exceeds_users() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let load = ClosedLoop {
+            spec: pipeline_spec(),
+            payload: Bytes::new(),
+            users: 3,
+            think_ns: 0,
+            ramp_ns: 0,
+            instances: 12,
+            cold_start_ns: None,
+        };
+        let mut res = SchedResources::new(1, 1);
+        let mut policy = LocalityFirst::new();
+        let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
+        assert_eq!(run.outcomes.len(), 12);
+        // At any instance's release, at most `users` instances overlap.
+        for o in &run.outcomes {
+            let in_flight = run
+                .outcomes
+                .iter()
+                .filter(|p| p.release_ns <= o.release_ns && p.finish_ns > o.release_ns)
+                .count();
+            assert!(in_flight <= 3, "{in_flight} instances in flight at {}", o.release_ns);
+        }
+    }
+
+    #[test]
+    fn closed_loop_with_fewer_instances_than_users() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let load = ClosedLoop {
+            spec: pipeline_spec(),
+            payload: Bytes::new(),
+            users: 8,
+            think_ns: 100,
+            ramp_ns: 0,
+            instances: 3,
+            cold_start_ns: None,
+        };
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
+        assert_eq!(run.outcomes.len(), 3);
+    }
+
+    #[test]
+    fn cold_start_charged_once_per_function_and_node() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let spec = pipeline_spec();
+        let mut load = open(spec, 1_000_000, 3);
+        load.cold_start_ns = Some(50_000);
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
+        // First instance pays both functions' cold starts; later
+        // instances land warm (locality keeps them on the same node —
+        // arrivals are 1 ms apart so the node has drained each time).
+        assert_eq!(run.outcomes[0].cold_start_ns, 50_000);
+        assert_eq!(run.outcomes[0].sojourn_ns, 50_000 + 1_500);
+        assert_eq!(run.outcomes[1].cold_start_ns, 0);
+        assert_eq!(run.outcomes[1].sojourn_ns, 1_500);
+        assert_eq!(run.cold_starts(), 1);
+        assert_eq!(run.cold_start_total_ns(), 50_000);
+    }
+
+    #[test]
+    fn cold_start_repaid_on_every_new_node() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let spec = pipeline_spec();
+        let load = ClosedLoop {
+            spec,
+            payload: Bytes::new(),
+            users: 1,
+            think_ns: 0,
+            ramp_ns: 0,
+            instances: 4,
+            cold_start_ns: Some(10_000),
+        };
+        let mut res = SchedResources::new(4, 4);
+        let mut policy = crate::scheduler::RoundRobin::new();
+        let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
+        // Round-robin moves every instance to a fresh node: each pays.
+        assert_eq!(run.cold_starts(), 4);
+        assert!(run.outcomes.iter().all(|o| o.cold_start_ns == 10_000));
+    }
+
+    #[test]
+    fn autoscaler_grows_under_pressure_and_shrinks_when_idle() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let spec = pipeline_spec();
+        // 40 instances arriving every 500 ns onto a single 1-core node
+        // (service 1500 ns): heavy overload.
+        let load = open(spec, 500, 40);
+        let mut res = SchedResources::heterogeneous(&[1]);
+        let mut policy = LocalityFirst::new();
+        let mut scaler = Autoscaler::new(AutoscalerConfig {
+            min_nodes: 1,
+            max_nodes: 4,
+            node_cores: 1,
+            scale_up_backlog_ns: 3_000,
+            scale_down_backlog_ns: 500,
+            window_ns: 2_000,
+        });
+        let run = load
+            .run_elastic(&mut plane, &clock, &mut res, &mut policy, Some(&mut scaler))
+            .unwrap();
+        assert!(
+            run.scale_events.iter().any(|e| e.action == ScaleAction::Up),
+            "overload must trigger scale-up: {:?}",
+            run.scale_events
+        );
+        assert!(run.final_nodes > 1);
+        // And the elastic run beats the fixed-capacity run's tail.
+        let clock2 = VirtualClock::new();
+        let mut plane2 = FixedPlane::new(clock2.clone());
+        let load2 = open(pipeline_spec(), 500, 40);
+        let mut fixed = SchedResources::heterogeneous(&[1]);
+        let mut policy2 = LocalityFirst::new();
+        let fixed_run = load2.run(&mut plane2, &clock2, &mut fixed, &mut policy2).unwrap();
+        let p_el = run.sojourn_percentiles().unwrap();
+        let p_fx = fixed_run.sojourn_percentiles().unwrap();
+        assert!(
+            p_el.p95_ns < p_fx.p95_ns,
+            "elastic p95 {} must beat fixed p95 {}",
+            p_el.p95_ns,
+            p_fx.p95_ns
+        );
+    }
+
+    #[test]
+    fn autoscaler_scales_down_after_the_surge_drains() {
+        let mut res = SchedResources::heterogeneous(&[1, 1, 1]);
+        let mut scaler = Autoscaler::new(AutoscalerConfig {
+            min_nodes: 1,
+            max_nodes: 3,
+            node_cores: 1,
+            scale_up_backlog_ns: 1_000_000,
+            scale_down_backlog_ns: 100,
+            window_ns: 1_000,
+        });
+        // Idle cluster observed well past the window: scale down fires.
+        scaler.observe(5_000, &mut res);
+        assert_eq!(res.node_count(), 2);
+        assert_eq!(scaler.events().len(), 1);
+        assert_eq!(scaler.events()[0].action, ScaleAction::Down);
+        // Cooldown: an immediate second observation does nothing…
+        scaler.observe(5_100, &mut res);
+        assert_eq!(res.node_count(), 2);
+        // …but after another full window the next shrink fires, and the
+        // floor holds.
+        scaler.observe(6_500, &mut res);
+        assert_eq!(res.node_count(), 1);
+        scaler.observe(9_000, &mut res);
+        assert_eq!(res.node_count(), 1, "min_nodes is a floor");
+        scaler.reset();
+        assert!(scaler.events().is_empty());
+    }
+
+    #[test]
+    fn cold_start_repaid_when_a_scaled_in_node_returns() {
+        // Two users burst at t=0 onto two 1-core nodes (both pay cold
+        // starts), the cluster drains and the controller scales in to
+        // one node, then the next burst scales back out — the re-added
+        // node is a brand-new machine and must charge its cold starts
+        // again, not inherit the removed node's warm set.
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let load = ClosedLoop {
+            spec: pipeline_spec(),
+            payload: Bytes::new(),
+            users: 2,
+            think_ns: 6_000,
+            ramp_ns: 0,
+            instances: 4,
+            cold_start_ns: Some(1_000),
+        };
+        let mut res = SchedResources::heterogeneous(&[1, 1]);
+        let mut policy = LocalityFirst::new();
+        let mut scaler = Autoscaler::new(AutoscalerConfig {
+            min_nodes: 1,
+            max_nodes: 2,
+            node_cores: 1,
+            scale_up_backlog_ns: 600,
+            scale_down_backlog_ns: 500,
+            window_ns: 1_000,
+        });
+        let run = load
+            .run_elastic(&mut plane, &clock, &mut res, &mut policy, Some(&mut scaler))
+            .unwrap();
+        // Drain → scale-in, burst → scale-out (a final drain-time
+        // scale-in may trail at the last completion).
+        let actions: Vec<ScaleAction> = run.scale_events.iter().map(|e| e.action).collect();
+        assert!(
+            actions.starts_with(&[ScaleAction::Down, ScaleAction::Up]),
+            "expected drain → scale-in → burst → scale-out: {:?}",
+            run.scale_events
+        );
+        // Burst 1: both instances cold (one per node).
+        assert_eq!(run.outcomes[0].cold_start_ns, 2_000);
+        assert_eq!(run.outcomes[1].cold_start_ns, 2_000);
+        // Burst 2: the packed node is warm, the re-added node is not.
+        assert_eq!(run.outcomes[2].cold_start_ns, 0);
+        assert_eq!(
+            run.outcomes[3].cold_start_ns, 2_000,
+            "a re-added node is a fresh machine and must re-pay cold starts"
+        );
+    }
+
+    #[test]
+    fn autoscaler_does_not_remove_a_node_with_busy_links() {
+        let mut res = SchedResources::mesh(&[1, 1, 1]);
+        // Node 2's CPU is idle but its wire to node 0 still drains.
+        res.link_between(0, 2).reserve(0, 2_000);
+        let mut scaler = Autoscaler::new(AutoscalerConfig {
+            min_nodes: 1,
+            max_nodes: 3,
+            node_cores: 1,
+            scale_up_backlog_ns: 1_000_000,
+            scale_down_backlog_ns: 1_000_000,
+            window_ns: 500,
+        });
+        scaler.observe(1_000, &mut res);
+        assert_eq!(res.node_count(), 3, "a node with an in-flight transfer must stay");
+        // Once the wire drains, scale-in proceeds.
+        scaler.observe(3_000, &mut res);
+        assert_eq!(res.node_count(), 2);
+    }
+
+    #[test]
+    fn autoscaler_does_not_remove_a_backlogged_node() {
+        let mut res = SchedResources::heterogeneous(&[1, 1]);
+        // Last node still draining: mean backlog is low, node backlog not.
+        res.cpu(1).reserve(0, 2_000);
+        let mut scaler = Autoscaler::new(AutoscalerConfig {
+            min_nodes: 1,
+            max_nodes: 2,
+            node_cores: 1,
+            scale_up_backlog_ns: 1_000_000,
+            scale_down_backlog_ns: 1_500,
+            window_ns: 500,
+        });
+        scaler.observe(1_000, &mut res);
+        assert_eq!(res.node_count(), 2, "a draining node must not be removed");
+        // Once drained, it goes.
+        scaler.observe(3_000, &mut res);
+        assert_eq!(res.node_count(), 1);
+    }
+
+    #[test]
+    fn open_loop_outcomes_match_user_indices() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let load = open(pipeline_spec(), 2_000, 4);
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
+        for (i, o) in run.outcomes.iter().enumerate() {
+            assert_eq!(o.instance, i);
+            assert_eq!(o.user, i);
+            assert_eq!(o.cold_start_ns, 0);
+        }
+        assert!(run.scale_events.is_empty());
+        assert_eq!(run.final_nodes, 2);
     }
 }

@@ -83,6 +83,248 @@ pub fn percentiles(latencies: &[Nanos]) -> Option<PercentileSummary> {
     })
 }
 
+/// Number of observations a [`StreamingPercentiles`] digest holds
+/// exactly before switching to the P² estimators: below this the
+/// summary equals the nearest-rank path bit for bit.
+pub const STREAMING_EXACT_MAX: usize = 64;
+
+/// One streaming quantile estimated with the P² algorithm (Jain &
+/// Chlamtac, CACM 1985): five markers track the running quantile in O(1)
+/// space and O(1) time per observation, no buffer, no sort.
+///
+/// Estimates are exact for the first five observations (the markers
+/// *are* the sorted observations) and approximate after, with the
+/// classic piecewise-parabolic marker adjustment.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    count: usize,
+    /// Marker heights (estimated quantile values).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increments: [f64; 5],
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `q` (e.g. `0.95`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must lie strictly between 0 and 1");
+        Self {
+            q,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.count += 1;
+        // Find the marker cell the observation falls into, clamping the
+        // extremes to the observed min/max.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            (0..4)
+                .rev()
+                .find(|&i| self.heights[i] <= x)
+                .expect("x >= heights[0] here")
+        };
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        // Adjust the three interior markers toward their desired
+        // positions, parabolically when possible.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let ahead = self.positions[i + 1] - self.positions[i];
+            let behind = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && ahead > 1.0) || (d <= -1.0 && behind < -1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, s)
+                };
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) prediction of marker `i` moved by `s`.
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (h, p) = (&self.heights, &self.positions);
+        h[i] + s / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + s) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - s) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabola would leave the bracket.
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate; `None` before the first observation. Exact
+    /// (an observed value) while fewer than five observations exist.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n @ 1..=4 => {
+                let mut sorted = self.heights[..n].to_vec();
+                sorted.sort_by(f64::total_cmp);
+                // Nearest-rank on the partial buffer.
+                let rank = ((n as f64 * self.q).ceil() as usize).clamp(1, n);
+                Some(sorted[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+/// A constant-space streaming latency digest: exact nearest-rank up to
+/// [`STREAMING_EXACT_MAX`] observations, then P² estimators for
+/// p50/p95/p99 — the scale path for load runs with 10⁶ instances where
+/// [`percentiles`]' sort-a-full-copy would dominate.
+///
+/// The reported digest is always internally consistent: `min ≤ p50 ≤
+/// p95 ≤ p99 ≤ max` (estimates are clamped into the observed range and
+/// made monotone).
+#[derive(Debug, Clone)]
+pub struct StreamingPercentiles {
+    /// Exact buffer while small; drained once the estimators take over.
+    small: Vec<Nanos>,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+    count: usize,
+    min_ns: Nanos,
+    max_ns: Nanos,
+    sum: u128,
+}
+
+impl StreamingPercentiles {
+    /// An empty digest.
+    pub fn new() -> Self {
+        Self {
+            small: Vec::new(),
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+            count: 0,
+            min_ns: Nanos::MAX,
+            max_ns: 0,
+            sum: 0,
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, ns: Nanos) {
+        self.count += 1;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.sum += u128::from(ns);
+        if self.count <= STREAMING_EXACT_MAX {
+            self.small.push(ns);
+        } else if !self.small.is_empty() {
+            // Crossing over: replay the exact buffer into the
+            // estimators, then stream.
+            for &v in &self.small {
+                let x = v as f64;
+                self.p50.record(x);
+                self.p95.record(x);
+                self.p99.record(x);
+            }
+            self.small = Vec::new();
+        }
+        if self.small.is_empty() {
+            let x = ns as f64;
+            self.p50.record(x);
+            self.p95.record(x);
+            self.p99.record(x);
+        }
+    }
+
+    /// The digest so far; `None` before the first observation. Equals
+    /// [`percentiles`] exactly while at most [`STREAMING_EXACT_MAX`]
+    /// observations have been recorded.
+    pub fn summary(&self) -> Option<PercentileSummary> {
+        if self.count == 0 {
+            return None;
+        }
+        if !self.small.is_empty() {
+            return percentiles(&self.small);
+        }
+        let clamp = |est: Option<f64>| -> Nanos {
+            let v = est.unwrap_or(0.0).round();
+            (v.max(0.0) as Nanos).clamp(self.min_ns, self.max_ns)
+        };
+        let p50 = clamp(self.p50.estimate());
+        let p95 = clamp(self.p95.estimate()).max(p50);
+        let p99 = clamp(self.p99.estimate()).max(p95);
+        Some(PercentileSummary {
+            count: self.count,
+            mean_ns: (self.sum as f64) / self.count as f64,
+            min_ns: self.min_ns,
+            p50_ns: p50,
+            p95_ns: p95,
+            p99_ns: p99,
+            max_ns: self.max_ns,
+        })
+    }
+}
+
+impl Default for StreamingPercentiles {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Accumulates samples across experiment repetitions.
 #[derive(Debug, Default)]
 pub struct MetricsCollector {
@@ -236,6 +478,79 @@ mod tests {
         assert_eq!(p.count, 3);
         assert_eq!(p.max_ns, 30);
         assert!(m.percentiles("nope").is_none());
+    }
+
+    #[test]
+    fn streaming_digest_is_exact_below_the_buffer_threshold() {
+        let mut digest = StreamingPercentiles::new();
+        let values: Vec<Nanos> = (1..=STREAMING_EXACT_MAX as u64).rev().collect();
+        for &v in &values {
+            digest.record(v);
+        }
+        let stream = digest.summary().unwrap();
+        let exact = percentiles(&values).unwrap();
+        assert_eq!(stream, exact, "small-n digest must equal the nearest-rank path");
+        assert!(StreamingPercentiles::new().summary().is_none());
+    }
+
+    #[test]
+    fn streaming_digest_tracks_large_uniform_streams() {
+        // 10_000 values 1..=10_000 in a scrambled deterministic order.
+        let mut digest = StreamingPercentiles::new();
+        let n: u64 = 10_000;
+        let mut v: Vec<Nanos> = (1..=n).collect();
+        let mut state = 0xDEADBEEFu64;
+        for i in (1..v.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        for &x in &v {
+            digest.record(x);
+        }
+        let s = digest.summary().unwrap();
+        assert_eq!(s.count, 10_000);
+        assert_eq!((s.min_ns, s.max_ns), (1, 10_000));
+        assert_eq!(s.mean_ns, 5_000.5);
+        let within = |got: Nanos, want: u64, tol: u64| {
+            assert!(
+                got.abs_diff(want) <= tol,
+                "estimate {got} strays more than {tol} from {want}"
+            );
+        };
+        within(s.p50_ns, 5_000, 250);
+        within(s.p95_ns, 9_500, 250);
+        within(s.p99_ns, 9_900, 150);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+    }
+
+    #[test]
+    fn streaming_digest_survives_constant_streams() {
+        let mut digest = StreamingPercentiles::new();
+        for _ in 0..500 {
+            digest.record(42);
+        }
+        let s = digest.summary().unwrap();
+        assert_eq!((s.min_ns, s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns), (42, 42, 42, 42, 42));
+    }
+
+    #[test]
+    fn p2_estimator_is_exact_for_tiny_streams() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        for v in [40.0, 10.0, 30.0] {
+            p.record(v);
+        }
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.quantile(), 0.5);
+        // Nearest-rank median of {10, 30, 40} is 30.
+        assert_eq!(p.estimate(), Some(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn p2_rejects_degenerate_quantiles() {
+        P2Quantile::new(1.0);
     }
 
     #[test]

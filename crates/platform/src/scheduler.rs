@@ -6,16 +6,30 @@
 //!
 //! * [`Scheduler`] places one function at a time ([`RoundRobin`],
 //!   [`Pinned`]) — enough for the paper's single-workflow experiments.
-//! * [`PlacementPolicy`] places a whole **workflow instance** onto a
-//!   cluster it observes ([`ClusterNodes`]), tracking cumulative load
-//!   across instances — what the multi-tenant load generator
-//!   ([`crate::loadgen`]) drives. [`LocalityFirst`] packs each instance
-//!   onto one node (maximizing user-/kernel-space edges for Roadrunner to
-//!   exploit); [`SpreadLoad`] spreads functions across nodes
-//!   (maximizing parallel cores, at the price of network edges).
+//! * [`PlacementPolicy`] places a whole **workflow instance** onto the
+//!   cluster it observes through a live [`ResourceView`] snapshot: the
+//!   per-node backlog every earlier admission created, refreshed at each
+//!   instance's arrival. Policies therefore route around hot nodes
+//!   without keeping private counters, and they keep working when an
+//!   autoscaler grows or shrinks the active node set between arrivals.
+//!
+//! The instance-level policies:
+//!
+//! * [`LocalityFirst`] packs each instance onto the least-backlogged
+//!   node (maximizing user-/kernel-space edges for Roadrunner to
+//!   exploit);
+//! * [`SpreadLoad`] spreads functions across nodes in ascending-backlog
+//!   order (maximizing parallel cores, at the price of network edges);
+//! * [`PackThenSpill`] packs onto one node until its backlog exceeds a
+//!   threshold, then spills to the next — the locality/spread hybrid the
+//!   elastic experiments sweep;
+//! * [`RoundRobin`] and [`Pinned`] also implement the instance seam, so
+//!   the classic per-function strategies drive the load generator too.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use roadrunner_vkernel::sched::ResourceView;
 
 use crate::workflow::WorkflowSpec;
 
@@ -52,6 +66,24 @@ impl Scheduler for RoundRobin {
     }
 }
 
+/// As an instance policy, round-robin packs the whole k-th instance onto
+/// node `k mod n` — load-blind by design, the control baseline the
+/// backlog-aware policies are measured against.
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn place(&mut self, spec: &WorkflowSpec, view: &ResourceView) -> Vec<usize> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        vec![idx % view.node_count(); spec.functions().len()]
+    }
+
+    fn reset(&mut self) {
+        self.next.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Explicit placements with a default node for unlisted functions —
 /// what the experiments use to pin function `a` to the edge node and
 /// function `b` to the cloud node.
@@ -81,90 +113,87 @@ impl Scheduler for Pinned {
     }
 }
 
-/// What a placement policy sees of the cluster: per-node core counts.
-///
-/// Built from a testbed with [`ClusterNodes::of`], or directly from a
-/// core-count slice for tests.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ClusterNodes {
-    cores: Vec<u32>,
+/// As an instance policy, pinning ignores the live view entirely but
+/// clamps every pin to the currently active node set, so a placement map
+/// written for a large cluster keeps working after the autoscaler shrank
+/// it.
+impl PlacementPolicy for Pinned {
+    fn name(&self) -> &'static str {
+        "pinned"
+    }
+
+    fn place(&mut self, spec: &WorkflowSpec, view: &ResourceView) -> Vec<usize> {
+        // Views are non-empty by construction (every SchedResources
+        // constructor rejects zero nodes); saturate anyway so a hostile
+        // view degrades to node 0 instead of underflowing.
+        let last = view.node_count().saturating_sub(1);
+        spec.functions()
+            .iter()
+            .map(|f| self.map.get(*f).copied().unwrap_or(self.default).min(last))
+            .collect()
+    }
+
+    fn reset(&mut self) {}
 }
 
-impl ClusterNodes {
-    /// A view over explicit per-node core counts.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cores` is empty or contains a zero.
-    pub fn new(cores: Vec<u32>) -> Self {
-        assert!(!cores.is_empty(), "a cluster view needs at least one node");
-        assert!(cores.iter().all(|&c| c > 0), "every node needs at least one core");
-        Self { cores }
-    }
-
-    /// The view of `testbed`'s nodes.
-    pub fn of(testbed: &roadrunner_vkernel::Testbed) -> Self {
-        Self::new(testbed.nodes().iter().map(|n| n.cores()).collect())
-    }
-
-    /// Number of nodes.
-    pub fn node_count(&self) -> usize {
-        self.cores.len()
-    }
-
-    /// Core count of node `i`.
-    pub fn cores(&self, i: usize) -> u32 {
-        self.cores[i]
-    }
-}
-
-/// Assigns every function of a workflow instance to a cluster node.
+/// Assigns every function of a workflow instance to a cluster node,
+/// observing the live [`ResourceView`] snapshot taken at the instance's
+/// arrival.
 ///
-/// Policies are stateful: they observe the load their own past
-/// assignments created, so successive instances land where capacity
-/// remains. The returned vector is indexed by the spec's DAG node index
-/// (the same index [`WorkflowDag::nodes`](crate::dag::WorkflowDag)
-/// iterates in) and feeds
+/// The view already reflects every earlier admission's reservations
+/// (including in-flight instances), so policies need no private load
+/// counters — and placements automatically follow capacity as an
+/// autoscaler resizes the cluster between arrivals. The returned vector
+/// is indexed by the spec's DAG node index (the same index
+/// [`WorkflowDag::nodes`](crate::dag::WorkflowDag) iterates in) and feeds
 /// [`DataPlane::placement`](crate::workflow::DataPlane) through
 /// [`crate::loadgen::Placed`].
+///
+/// Determinism contract: given identical views and call sequences, a
+/// policy must return identical assignments (ties broken by node index,
+/// integral arithmetic only).
 pub trait PlacementPolicy: Send {
     /// Human-readable policy name (used in benchmark series labels).
     fn name(&self) -> &'static str;
 
-    /// Chooses a node for every function of `spec`, observing `cluster`.
-    fn assign(&mut self, spec: &WorkflowSpec, cluster: &ClusterNodes) -> Vec<usize>;
+    /// Chooses a node for every function of `spec`, observing the live
+    /// cluster state in `view`.
+    fn place(&mut self, spec: &WorkflowSpec, view: &ResourceView) -> Vec<usize>;
 
-    /// Forgets accumulated load (between benchmark cells).
+    /// Forgets any internal cursor state (between benchmark cells).
     fn reset(&mut self);
 }
 
-/// Picks the least-loaded node (normalized by its core count) and packs
-/// the **whole instance** there: every edge becomes a user-/kernel-space
-/// edge, which is exactly the regime Roadrunner's co-location modes
-/// accelerate. Load is counted in assigned functions.
-#[derive(Debug, Default)]
-pub struct LocalityFirst {
-    load: Vec<u64>,
+/// Orders nodes `a` and `b` by core-normalized backlog (`backlog/cores`
+/// ascending), compared by cross-multiplication so the arithmetic stays
+/// integral (and therefore deterministic across platforms). The single
+/// definition of "less loaded" every backlog-aware policy shares.
+fn backlog_order(view: &ResourceView, a: usize, b: usize) -> std::cmp::Ordering {
+    let lhs = u128::from(view.node(a).backlog_ns) * u128::from(view.node(b).cores);
+    let rhs = u128::from(view.node(b).backlog_ns) * u128::from(view.node(a).cores);
+    lhs.cmp(&rhs)
 }
+
+/// Index of the node minimizing `backlog/cores`, ties to the lowest
+/// index.
+fn least_backlogged(view: &ResourceView) -> usize {
+    (0..view.node_count())
+        .min_by(|&a, &b| backlog_order(view, a, b))
+        .expect("resource views are non-empty")
+}
+
+/// Packs the **whole instance** onto the node with the least live
+/// backlog (normalized by its core count): every edge becomes a
+/// user-/kernel-space edge, which is exactly the regime Roadrunner's
+/// co-location modes accelerate.
+#[derive(Debug, Default)]
+pub struct LocalityFirst;
 
 impl LocalityFirst {
-    /// A fresh policy with no accumulated load.
+    /// A fresh policy.
     pub fn new() -> Self {
-        Self::default()
+        Self
     }
-}
-
-/// Index of the node minimizing `load/cores`, ties to the lowest index.
-/// Compared by cross-multiplication so the arithmetic stays integral
-/// (and therefore deterministic across platforms).
-fn least_loaded(load: &[u64], cluster: &ClusterNodes) -> usize {
-    (0..load.len())
-        .min_by(|&a, &b| {
-            let lhs = load[a] * u64::from(cluster.cores(b));
-            let rhs = load[b] * u64::from(cluster.cores(a));
-            lhs.cmp(&rhs)
-        })
-        .expect("cluster views are non-empty")
 }
 
 impl PlacementPolicy for LocalityFirst {
@@ -172,32 +201,25 @@ impl PlacementPolicy for LocalityFirst {
         "locality"
     }
 
-    fn assign(&mut self, spec: &WorkflowSpec, cluster: &ClusterNodes) -> Vec<usize> {
-        self.load.resize(cluster.node_count(), 0);
-        let functions = spec.functions().len();
-        let node = least_loaded(&self.load, cluster);
-        self.load[node] += functions as u64;
-        vec![node; functions]
+    fn place(&mut self, spec: &WorkflowSpec, view: &ResourceView) -> Vec<usize> {
+        vec![least_backlogged(view); spec.functions().len()]
     }
 
-    fn reset(&mut self) {
-        self.load.clear();
-    }
+    fn reset(&mut self) {}
 }
 
-/// Spreads the functions of every instance across the cluster, each onto
-/// the currently least-loaded node (normalized by core count): maximal
-/// parallel cores, at the price of turning workflow edges into network
-/// transfers.
+/// Spreads the functions of every instance across the cluster: nodes are
+/// ranked by ascending live backlog (normalized by core count, ties to
+/// the lowest index) and functions deal round-robin over that ranking —
+/// maximal parallel cores, at the price of turning workflow edges into
+/// network transfers.
 #[derive(Debug, Default)]
-pub struct SpreadLoad {
-    load: Vec<u64>,
-}
+pub struct SpreadLoad;
 
 impl SpreadLoad {
-    /// A fresh policy with no accumulated load.
+    /// A fresh policy.
     pub fn new() -> Self {
-        Self::default()
+        Self
     }
 }
 
@@ -206,130 +228,214 @@ impl PlacementPolicy for SpreadLoad {
         "spread"
     }
 
-    fn assign(&mut self, spec: &WorkflowSpec, cluster: &ClusterNodes) -> Vec<usize> {
-        self.load.resize(cluster.node_count(), 0);
-        spec.functions()
-            .iter()
-            .map(|_| {
-                let node = least_loaded(&self.load, cluster);
-                self.load[node] += 1;
-                node
-            })
-            .collect()
+    fn place(&mut self, spec: &WorkflowSpec, view: &ResourceView) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..view.node_count()).collect();
+        order.sort_by(|&a, &b| backlog_order(view, a, b).then(a.cmp(&b)));
+        (0..spec.functions().len()).map(|i| order[i % order.len()]).collect()
     }
 
-    fn reset(&mut self) {
-        self.load.clear();
+    fn reset(&mut self) {}
+}
+
+/// The paper-style locality/spread hybrid: keep **packing** the busiest
+/// node whose backlog is still at or under the spill threshold (so
+/// instances co-locate and Roadrunner's kernel-space edges stay in
+/// play), and only when every candidate is saturated **spill** to the
+/// least-backlogged node. Ties break to the lowest index; the whole
+/// instance lands on one node either way.
+#[derive(Debug)]
+pub struct PackThenSpill {
+    spill_backlog_ns: u64,
+}
+
+impl PackThenSpill {
+    /// A policy spilling once a node's backlog exceeds
+    /// `spill_backlog_ns`.
+    pub fn new(spill_backlog_ns: u64) -> Self {
+        Self { spill_backlog_ns }
     }
+
+    /// The configured spill threshold.
+    pub fn spill_backlog_ns(&self) -> u64 {
+        self.spill_backlog_ns
+    }
+}
+
+impl PlacementPolicy for PackThenSpill {
+    fn name(&self) -> &'static str {
+        "pack_spill"
+    }
+
+    fn place(&mut self, spec: &WorkflowSpec, view: &ResourceView) -> Vec<usize> {
+        let node = (0..view.node_count())
+            .filter(|&i| view.node(i).backlog_ns <= self.spill_backlog_ns)
+            .max_by(|&a, &b| {
+                // Busiest-but-under-threshold wins; ties to the LOWEST
+                // index (max_by keeps the later of equals, so order the
+                // index comparison accordingly).
+                view.node(a)
+                    .backlog_ns
+                    .cmp(&view.node(b).backlog_ns)
+                    .then(b.cmp(&a))
+            })
+            .unwrap_or_else(|| least_backlogged(view));
+        vec![node; spec.functions().len()]
+    }
+
+    fn reset(&mut self) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use roadrunner_vkernel::sched::SchedResources;
 
     #[test]
     fn round_robin_cycles() {
         let s = RoundRobin::new();
-        assert_eq!(s.place("a", 2).node, 0);
-        assert_eq!(s.place("b", 2).node, 1);
-        assert_eq!(s.place("c", 2).node, 0);
+        assert_eq!(Scheduler::place(&s, "a", 2).node, 0);
+        assert_eq!(Scheduler::place(&s, "b", 2).node, 1);
+        assert_eq!(Scheduler::place(&s, "c", 2).node, 0);
     }
 
     #[test]
     fn round_robin_survives_single_node() {
         let s = RoundRobin::new();
-        assert_eq!(s.place("a", 1).node, 0);
-        assert_eq!(s.place("b", 0).node, 0);
+        assert_eq!(Scheduler::place(&s, "a", 1).node, 0);
+        assert_eq!(Scheduler::place(&s, "b", 0).node, 0);
     }
 
     #[test]
     fn pinned_uses_map_then_default() {
         let s = Pinned::new(1).pin("a", 0);
-        assert_eq!(s.place("a", 2).node, 0);
-        assert_eq!(s.place("other", 2).node, 1);
+        assert_eq!(Scheduler::place(&s, "a", 2).node, 0);
+        assert_eq!(Scheduler::place(&s, "other", 2).node, 1);
     }
 
     #[test]
     fn pinned_clamps_to_cluster_size() {
         let s = Pinned::new(0).pin("a", 9);
-        assert_eq!(s.place("a", 2).node, 1);
+        assert_eq!(Scheduler::place(&s, "a", 2).node, 1);
     }
 
     fn chain(name: &str) -> WorkflowSpec {
         WorkflowSpec::sequence(name, "t", ["f".to_owned(), "g".to_owned(), "h".to_owned()])
     }
 
-    #[test]
-    fn locality_first_packs_instances_and_rotates_nodes() {
-        let cluster = ClusterNodes::new(vec![4, 4, 4]);
-        let mut policy = LocalityFirst::new();
-        let a = policy.assign(&chain("a"), &cluster);
-        let b = policy.assign(&chain("b"), &cluster);
-        let c = policy.assign(&chain("c"), &cluster);
-        let d = policy.assign(&chain("d"), &cluster);
-        // Each instance fully packed on one node…
-        for assignment in [&a, &b, &c, &d] {
-            assert_eq!(assignment.len(), 3);
-            assert!(assignment.iter().all(|&n| n == assignment[0]));
+    /// Backlog of `b` ns on each named node, 4 cores each, snapshot at 0.
+    fn view_of(backlogs: &[u64]) -> roadrunner_vkernel::ResourceView {
+        let mut res = SchedResources::new(backlogs.len(), 4);
+        for (i, &b) in backlogs.iter().enumerate() {
+            for _ in 0..res.cpu(i).capacity() {
+                res.cpu(i).reserve(0, b);
+            }
         }
-        // …and successive instances rotate onto the least-loaded node.
-        assert_eq!((a[0], b[0], c[0], d[0]), (0, 1, 2, 0));
+        res.view(0)
     }
 
     #[test]
-    fn spread_load_distributes_functions_across_nodes() {
-        let cluster = ClusterNodes::new(vec![4, 4, 4]);
-        let mut policy = SpreadLoad::new();
-        let a = policy.assign(&chain("a"), &cluster);
-        assert_eq!(a, vec![0, 1, 2]);
-        let b = policy.assign(&chain("b"), &cluster);
-        assert_eq!(b, vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn policies_weight_load_by_core_count() {
-        // An 8-core node absorbs twice the functions of a 4-core node
-        // before it stops being the least-loaded choice.
-        let cluster = ClusterNodes::new(vec![4, 8]);
-        let mut policy = SpreadLoad::new();
-        let picks: Vec<usize> = (0..6)
-            .flat_map(|i| {
-                policy.assign(
-                    &WorkflowSpec::sequence(
-                        format!("wf{i}"),
-                        "t",
-                        ["x".to_owned(), "y".to_owned()],
-                    ),
-                    &cluster,
-                )
-            })
-            .collect();
-        let on_big = picks.iter().filter(|&&n| n == 1).count();
-        assert_eq!(on_big, 8, "picks were {picks:?}");
-        assert_eq!(picks.len() - on_big, 4);
-    }
-
-    #[test]
-    fn policy_reset_forgets_load() {
-        let cluster = ClusterNodes::new(vec![4, 4]);
+    fn locality_first_packs_onto_the_least_backlogged_node() {
         let mut policy = LocalityFirst::new();
-        assert_eq!(policy.assign(&chain("a"), &cluster)[0], 0);
-        assert_eq!(policy.assign(&chain("b"), &cluster)[0], 1);
+        let a = policy.place(&chain("a"), &view_of(&[500, 100, 900]));
+        assert_eq!(a, vec![1, 1, 1]);
+        // All idle: ties break to the lowest index.
+        let b = policy.place(&chain("b"), &view_of(&[0, 0, 0]));
+        assert_eq!(b, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn locality_follows_live_backlog_across_instances() {
+        // Two instances admitted against the *same* resources: the
+        // second observes the first's reservations and moves on.
+        let mut res = SchedResources::new(2, 1);
+        let mut policy = LocalityFirst::new();
+        let first = policy.place(&chain("a"), &res.view(0));
+        assert_eq!(first[0], 0);
+        res.cpu(first[0]).reserve(0, 10_000);
+        let second = policy.place(&chain("b"), &res.view(0));
+        assert_eq!(second[0], 1, "live backlog must steer the second instance away");
+    }
+
+    #[test]
+    fn spread_load_deals_functions_in_backlog_order() {
+        let mut policy = SpreadLoad::new();
+        // Ranking by backlog: node 2 (idle), node 0, node 1.
+        let got = policy.place(&chain("a"), &view_of(&[300, 700, 0]));
+        assert_eq!(got, vec![2, 0, 1]);
+        // More functions than nodes: wraps around the ranking.
+        let spec = WorkflowSpec::sequence(
+            "wide",
+            "t",
+            (0..5).map(|i| format!("f{i}")).collect::<Vec<_>>(),
+        );
+        assert_eq!(policy.place(&spec, &view_of(&[0, 100])), vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn policies_weight_backlog_by_core_count() {
+        // Same absolute backlog: the 8-core node drains it twice as fast,
+        // so it is the less-loaded choice.
+        let mut res = SchedResources::heterogeneous(&[4, 8]);
+        for i in 0..2 {
+            for _ in 0..res.cpu(i).capacity() {
+                res.cpu(i).reserve(0, 1_000);
+            }
+        }
+        let view = res.view(0);
+        assert_eq!(view.node(0).backlog_ns, view.node(1).backlog_ns);
+        let mut policy = LocalityFirst::new();
+        assert_eq!(policy.place(&chain("a"), &view)[0], 1);
+    }
+
+    #[test]
+    fn pack_then_spill_packs_until_the_threshold_then_moves() {
+        let mut policy = PackThenSpill::new(1_000);
+        // Node 0 busiest under threshold: keep packing it.
+        assert_eq!(policy.place(&chain("a"), &view_of(&[800, 200, 0])), vec![0, 0, 0]);
+        // Node 0 over threshold: the busiest *under* it wins.
+        assert_eq!(policy.place(&chain("b"), &view_of(&[1_500, 200, 0])), vec![1, 1, 1]);
+        // Everyone over threshold: spill to the least backlogged.
+        assert_eq!(
+            policy.place(&chain("c"), &view_of(&[1_500, 2_000, 1_800])),
+            vec![0, 0, 0]
+        );
+        // Ties under the threshold break to the lowest index.
+        assert_eq!(policy.place(&chain("d"), &view_of(&[300, 300, 0])), vec![0, 0, 0]);
+        assert_eq!(policy.spill_backlog_ns(), 1_000);
+    }
+
+    #[test]
+    fn round_robin_instances_rotate_over_the_active_set() {
+        let mut policy = RoundRobin::new();
+        let view = view_of(&[0, 0, 0]);
+        assert_eq!(PlacementPolicy::place(&mut policy, &chain("a"), &view), vec![0; 3]);
+        assert_eq!(PlacementPolicy::place(&mut policy, &chain("b"), &view), vec![1; 3]);
+        assert_eq!(PlacementPolicy::place(&mut policy, &chain("c"), &view), vec![2; 3]);
+        assert_eq!(PlacementPolicy::place(&mut policy, &chain("d"), &view), vec![0; 3]);
         policy.reset();
-        assert_eq!(policy.assign(&chain("c"), &cluster)[0], 0);
+        assert_eq!(PlacementPolicy::place(&mut policy, &chain("e"), &view), vec![0; 3]);
     }
 
     #[test]
-    fn cluster_nodes_view_of_testbed() {
-        let bed = roadrunner_vkernel::Testbed::paper();
-        let view = ClusterNodes::of(&bed);
-        assert_eq!(view.node_count(), 2);
-        assert_eq!(view.cores(0), 4);
+    fn pinned_instances_clamp_to_the_active_set() {
+        let mut policy = Pinned::new(0).pin("f", 5).pin("g", 1);
+        let got = PlacementPolicy::place(&mut policy, &chain("a"), &view_of(&[0, 0]));
+        // f pinned past the active set clamps to the last node.
+        assert_eq!(got, vec![1, 1, 0]);
     }
 
     #[test]
-    #[should_panic(expected = "at least one node")]
-    fn empty_cluster_view_panics() {
-        ClusterNodes::new(Vec::new());
+    fn policies_are_deterministic_given_the_same_view() {
+        let view = view_of(&[400, 100, 100, 900]);
+        let spec = chain("a");
+        for policy in [
+            &mut LocalityFirst::new() as &mut dyn PlacementPolicy,
+            &mut SpreadLoad::new(),
+            &mut PackThenSpill::new(500),
+        ] {
+            let a = policy.place(&spec, &view);
+            let b = policy.place(&spec, &view);
+            assert_eq!(a, b, "{} must be deterministic", policy.name());
+        }
     }
 }

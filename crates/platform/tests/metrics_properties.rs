@@ -1,0 +1,59 @@
+//! Property-based tests for the streaming percentile digest: it must
+//! agree exactly with the nearest-rank path while small, and stay
+//! internally consistent (bounded, monotone) at any size.
+
+use proptest::prelude::*;
+use roadrunner_platform::{percentiles, StreamingPercentiles, STREAMING_EXACT_MAX};
+
+proptest! {
+    /// Below the exact-buffer threshold the streaming digest IS the
+    /// nearest-rank digest, observation for observation.
+    #[test]
+    fn streaming_digest_matches_nearest_rank_on_small_n(
+        values in proptest::collection::vec(0u64..1_000_000, 1..=STREAMING_EXACT_MAX),
+    ) {
+        let mut digest = StreamingPercentiles::new();
+        for &v in &values {
+            digest.record(v);
+        }
+        let stream = digest.summary().unwrap();
+        let exact = percentiles(&values).unwrap();
+        prop_assert_eq!(stream, exact);
+    }
+
+    /// Past the threshold the P² estimates stay within the observed
+    /// range, keep p50 ≤ p95 ≤ p99, and report exact count/min/max/mean.
+    #[test]
+    fn streaming_digest_stays_consistent_on_large_n(
+        values in proptest::collection::vec(0u64..100_000, 100..600),
+    ) {
+        let mut digest = StreamingPercentiles::new();
+        for &v in &values {
+            digest.record(v);
+        }
+        let s = digest.summary().unwrap();
+        let exact = percentiles(&values).unwrap();
+        prop_assert_eq!(s.count, exact.count);
+        prop_assert_eq!(s.min_ns, exact.min_ns);
+        prop_assert_eq!(s.max_ns, exact.max_ns);
+        prop_assert!((s.mean_ns - exact.mean_ns).abs() < 1e-6);
+        prop_assert!(s.min_ns <= s.p50_ns);
+        prop_assert!(s.p50_ns <= s.p95_ns);
+        prop_assert!(s.p95_ns <= s.p99_ns);
+        prop_assert!(s.p99_ns <= s.max_ns);
+        // The p50 estimate must land inside the exact interquartile
+        // hull — a loose but distribution-free agreement bound.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let lo = sorted[(n / 5).min(n - 1)];
+        let hi = sorted[(n * 4 / 5).min(n - 1)];
+        prop_assert!(
+            (lo..=hi).contains(&s.p50_ns),
+            "p50 {} outside [{}, {}]",
+            s.p50_ns,
+            lo,
+            hi
+        );
+    }
+}

@@ -75,7 +75,7 @@ pub use error::VkError;
 pub use net::Link;
 pub use node::Node;
 pub use pipeline::{Overlap, Space, Stage, TransferOutcome};
-pub use sched::{EventQueue, SchedResources, Timeline};
+pub use sched::{EventQueue, NodeView, ResourceView, SchedResources, Timeline};
 pub use testbed::Testbed;
 
 /// Virtual time in nanoseconds.

@@ -14,7 +14,12 @@
 //!   broken by insertion order, so identical runs replay identically.
 //! * [`SchedResources`] — the timelines of a whole testbed (per-node CPU
 //!   plus the shared inter-node link), ready for the executor to reserve
-//!   against.
+//!   against. Capacity is **elastic**: [`SchedResources::add_node`] /
+//!   [`SchedResources::remove_last_node`] grow and shrink the active node
+//!   set mid-stream, preserving every surviving timeline.
+//! * [`ResourceView`] — a cheap snapshot of the live per-node and
+//!   per-link state ([`SchedResources::view`]): what placement policies
+//!   and the autoscaler in the platform layer observe.
 //!
 //! All times are **relative** virtual nanoseconds: the executor measures
 //! real per-edge costs against the shared [`VirtualClock`](crate::VirtualClock)
@@ -98,8 +103,18 @@ impl Timeline {
     }
 
     /// Earliest time any lane is free.
+    ///
+    /// Monotone under reservations: no `reserve` call ever moves a
+    /// lane's free time backwards, so successive `free_at` readings are
+    /// non-decreasing (property-tested in `tests/sched_properties.rs`).
     pub fn free_at(&self) -> Nanos {
         self.lanes.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Work queued beyond `now`: how long the busiest lane still has to
+    /// drain. Zero for an idle (or already-drained) resource.
+    pub fn backlog_at(&self, now: Nanos) -> Nanos {
+        self.busy_until().saturating_sub(now)
     }
 
     /// Time the last reservation drains.
@@ -217,11 +232,106 @@ impl<T> std::fmt::Debug for EventQueue<T> {
 /// [`SchedResources::for_testbed`] over a cluster testbed) carry **one
 /// timeline per node pair**, so traffic between nodes 0↔1 no longer
 /// queues behind traffic between 2↔3.
+/// One node's slice of a [`ResourceView`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeView {
+    /// Core count (the CPU timeline's lane count).
+    pub cores: u32,
+    /// Earliest time any core lane is free.
+    pub free_at: Nanos,
+    /// Work queued beyond the snapshot instant: how long the busiest
+    /// lane still has to drain. The backlog-depth signal placement
+    /// policies and the autoscaler route on.
+    pub backlog_ns: Nanos,
+    /// Total busy time reserved on the node since construction/reset.
+    pub reserved_ns: Nanos,
+    /// Reserved-time utilization up to the snapshot instant:
+    /// `reserved_ns / (cores × now)`, 0 at `now == 0`. Can exceed 1
+    /// transiently — reservations may extend past `now`.
+    pub utilization: f64,
+}
+
+/// A cheap, immutable snapshot of a [`SchedResources`]' live state at one
+/// instant — what placement policies and the autoscaler observe.
+///
+/// Building a view copies O(nodes + links) scalars; no timeline is
+/// cloned. The snapshot is taken *before* the observed instance reserves
+/// anything, so a policy routing on it sees exactly the load every
+/// earlier admission created.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceView {
+    now: Nanos,
+    nodes: Vec<NodeView>,
+    /// Per-pair link backlogs (flattened upper-triangular); empty for
+    /// the classic shared-WAN layout.
+    link_backlogs: Vec<Nanos>,
+    /// The shared WAN timeline's backlog (what same-node queries and
+    /// every pair on the non-mesh layout report).
+    wan_backlog: Nanos,
+    meshed: bool,
+}
+
+impl ResourceView {
+    /// The instant the snapshot was taken.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of (currently active) nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node slices, in node order.
+    pub fn nodes(&self) -> &[NodeView] {
+        &self.nodes
+    }
+
+    /// Node `i`'s slice.
+    pub fn node(&self, i: usize) -> &NodeView {
+        &self.nodes[i]
+    }
+
+    /// Backlog of the link carrying traffic between nodes `a` and `b`
+    /// (the pair's own link on a mesh, the shared WAN otherwise; equal
+    /// indexes report the shared link, mirroring
+    /// [`SchedResources::link_between`]).
+    pub fn link_backlog_between(&self, a: usize, b: usize) -> Nanos {
+        let n = self.nodes.len();
+        let (a, b) = (a % n, b % n);
+        if self.meshed && a != b {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            self.link_backlogs[pair_index(n, lo, hi)]
+        } else {
+            self.wan_backlog
+        }
+    }
+
+    /// Total node backlog across the cluster.
+    pub fn total_backlog_ns(&self) -> Nanos {
+        self.nodes.iter().map(|n| n.backlog_ns).sum()
+    }
+
+    /// Mean node backlog — the autoscaler's load signal.
+    pub fn mean_backlog_ns(&self) -> Nanos {
+        if self.nodes.is_empty() {
+            0
+        } else {
+            self.total_backlog_ns() / self.nodes.len() as u64
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct SchedResources {
     cpus: Vec<Timeline>,
     wan: Timeline,
     mesh: Option<Vec<Timeline>>,
+    /// Busy time reserved on since-removed node CPU timelines, kept so
+    /// utilization totals stay monotone across scale-in.
+    retired_cpu_ns: Nanos,
+    /// Busy time reserved on since-removed mesh links.
+    retired_link_ns: Nanos,
 }
 
 /// Index of the unordered pair `(a, b)`, `a < b`, in a flattened
@@ -243,7 +353,13 @@ impl SchedResources {
         let cpus = (0..node_count)
             .map(|i| Timeline::new(format!("cpu-{i}"), cores as usize))
             .collect();
-        Self { cpus, wan: Timeline::new("wan", 1), mesh: None }
+        Self {
+            cpus,
+            wan: Timeline::new("wan", 1),
+            mesh: None,
+            retired_cpu_ns: 0,
+            retired_link_ns: 0,
+        }
     }
 
     /// Resources for heterogeneous nodes (per-node core counts), joined
@@ -259,7 +375,13 @@ impl SchedResources {
             .enumerate()
             .map(|(i, &c)| Timeline::new(format!("cpu-{i}"), c as usize))
             .collect();
-        Self { cpus, wan: Timeline::new("wan", 1), mesh: None }
+        Self {
+            cpus,
+            wan: Timeline::new("wan", 1),
+            mesh: None,
+            retired_cpu_ns: 0,
+            retired_link_ns: 0,
+        }
     }
 
     /// Resources for heterogeneous nodes joined by a **full mesh** of
@@ -329,6 +451,131 @@ impl SchedResources {
         }
     }
 
+    /// Snapshots the live state of every node and link at instant `now` —
+    /// the observation side of the elastic control loop. O(nodes + links)
+    /// scalar reads; nothing is cloned or locked.
+    pub fn view(&self, now: Nanos) -> ResourceView {
+        let nodes = self
+            .cpus
+            .iter()
+            .map(|cpu| {
+                let reserved = cpu.reserved_ns();
+                let lanes = cpu.capacity() as u64;
+                NodeView {
+                    cores: cpu.capacity() as u32,
+                    free_at: cpu.free_at(),
+                    backlog_ns: cpu.backlog_at(now),
+                    reserved_ns: reserved,
+                    utilization: if now == 0 {
+                        0.0
+                    } else {
+                        reserved as f64 / (lanes * now) as f64
+                    },
+                }
+            })
+            .collect();
+        let (link_backlogs, meshed) = match &self.mesh {
+            Some(links) => (links.iter().map(|l| l.backlog_at(now)).collect(), true),
+            None => (Vec::new(), false),
+        };
+        ResourceView {
+            now,
+            nodes,
+            link_backlogs,
+            wan_backlog: self.wan.backlog_at(now),
+            meshed,
+        }
+    }
+
+    /// Total active core lanes (Σ per-node capacities) — the cheap
+    /// lane-count read (no reserved-time sweep) the load engine's
+    /// per-event capacity integral wants.
+    pub fn cpu_lanes(&self) -> usize {
+        self.cpus.iter().map(Timeline::capacity).sum()
+    }
+
+    /// Number of active link lanes: the per-pair links on a mesh, the
+    /// single shared WAN otherwise.
+    pub fn link_lanes(&self) -> usize {
+        match &self.mesh {
+            Some(links) => links.len(),
+            None => 1,
+        }
+    }
+
+    /// Grows the cluster by one node of `cores` cores **mid-stream**:
+    /// every existing timeline (and its reservations) is preserved, and
+    /// on a mesh the new node gets a fresh link to every existing node.
+    /// Returns the new node's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn add_node(&mut self, cores: u32) -> usize {
+        let idx = self.cpus.len();
+        self.cpus.push(Timeline::new(format!("cpu-{idx}"), cores as usize));
+        if let Some(links) = self.mesh.take() {
+            self.mesh = Some(Self::reindex_mesh(links, idx, idx + 1, &mut 0));
+        }
+        idx
+    }
+
+    /// Shrinks the cluster by removing the **last** node mid-stream,
+    /// preserving every remaining timeline. Reservations already placed
+    /// on the removed node (and its mesh links) move into the retired
+    /// totals so [`cpu_reserved`](Self::cpu_reserved) /
+    /// [`link_reserved`](Self::link_reserved) stay monotone.
+    ///
+    /// Callers deciding *when* to remove (e.g. an autoscaler) should
+    /// drain the node first — check `view(now).node(n-1).backlog_ns == 0`
+    /// — since later placements wrap onto the remaining nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one node remains.
+    pub fn remove_last_node(&mut self) {
+        assert!(self.cpus.len() > 1, "a schedule needs at least one node");
+        let removed = self.cpus.pop().expect("len checked above");
+        self.retired_cpu_ns += removed.reserved_ns();
+        let new_n = self.cpus.len();
+        if let Some(links) = self.mesh.take() {
+            let mut retired = 0;
+            self.mesh = Some(Self::reindex_mesh(links, new_n + 1, new_n, &mut retired));
+            self.retired_link_ns += retired;
+        }
+    }
+
+    /// Rebuilds a flattened upper-triangular link mesh from `old_n` to
+    /// `new_n` nodes: surviving pairs keep their timelines (reservations
+    /// intact), new pairs get fresh capacity-1 links, and dropped pairs'
+    /// reserved time accumulates into `retired_ns`.
+    fn reindex_mesh(
+        links: Vec<Timeline>,
+        old_n: usize,
+        new_n: usize,
+        retired_ns: &mut Nanos,
+    ) -> Vec<Timeline> {
+        let mut old: Vec<Option<Timeline>> = links.into_iter().map(Some).collect();
+        let mut out = Vec::with_capacity(new_n * new_n.saturating_sub(1) / 2);
+        for a in 0..new_n {
+            for b in a + 1..new_n {
+                if b < old_n {
+                    out.push(
+                        old[pair_index(old_n, a, b)].take().expect("each pair taken once"),
+                    );
+                } else {
+                    out.push(Timeline::new(format!("link-{a}-{b}"), 1));
+                }
+            }
+        }
+        *retired_ns += old
+            .iter()
+            .flatten()
+            .map(Timeline::reserved_ns)
+            .sum::<Nanos>();
+        out
+    }
+
     /// Time the last reservation across all resources drains.
     pub fn busy_until(&self) -> Nanos {
         self.cpus
@@ -340,11 +587,14 @@ impl SchedResources {
             .unwrap_or(0)
     }
 
-    /// Total CPU busy time reserved across every node, and the total
-    /// number of core lanes — the inputs to a cluster-wide CPU
+    /// Total CPU busy time reserved across every node (including nodes
+    /// since removed by [`remove_last_node`](Self::remove_last_node), so
+    /// the total never goes backwards under scale-in), and the number of
+    /// currently active core lanes — the inputs to a cluster-wide CPU
     /// utilization figure (`reserved / (lanes × horizon)`).
     pub fn cpu_reserved(&self) -> (Nanos, usize) {
-        let reserved = self.cpus.iter().map(Timeline::reserved_ns).sum();
+        let reserved = self.cpus.iter().map(Timeline::reserved_ns).sum::<Nanos>()
+            + self.retired_cpu_ns;
         let lanes = self.cpus.iter().map(Timeline::capacity).sum();
         (reserved, lanes)
     }
@@ -357,14 +607,16 @@ impl SchedResources {
     /// numerator and the lane count so utilization stays consistent.
     pub fn link_reserved(&self) -> (Nanos, usize) {
         match &self.mesh {
-            Some(links) => {
-                (links.iter().map(Timeline::reserved_ns).sum::<Nanos>(), links.len())
-            }
+            Some(links) => (
+                links.iter().map(Timeline::reserved_ns).sum::<Nanos>() + self.retired_link_ns,
+                links.len(),
+            ),
             None => (self.wan.reserved_ns(), 1),
         }
     }
 
-    /// Clears all reservations, keeping the topology.
+    /// Clears all reservations (including retired totals), keeping the
+    /// topology.
     pub fn reset(&mut self) {
         for cpu in &mut self.cpus {
             cpu.reset();
@@ -373,6 +625,8 @@ impl SchedResources {
         for link in self.mesh.iter_mut().flatten() {
             link.reset();
         }
+        self.retired_cpu_ns = 0;
+        self.retired_link_ns = 0;
     }
 }
 
@@ -540,6 +794,140 @@ mod tests {
         res.reset();
         assert_eq!(res.cpu_reserved().0, 0);
         assert_eq!(res.link_reserved().0, 0);
+    }
+
+    #[test]
+    fn view_reports_backlog_and_utilization() {
+        let mut res = SchedResources::mesh(&[2, 4]);
+        res.cpu(0).reserve(0, 600);
+        res.cpu(0).reserve(0, 1_000);
+        res.link_between(0, 1).reserve(0, 900);
+        let view = res.view(500);
+        assert_eq!(view.now(), 500);
+        assert_eq!(view.node_count(), 2);
+        assert_eq!(view.node(0).cores, 2);
+        // Lanes busy until 600 and 1_000: earliest free 600, backlog
+        // beyond now=500 is 500.
+        assert_eq!(view.node(0).free_at, 600);
+        assert_eq!(view.node(0).backlog_ns, 500);
+        assert_eq!(view.node(0).reserved_ns, 1_600);
+        assert!((view.node(0).utilization - 1_600.0 / (2.0 * 500.0)).abs() < 1e-12);
+        // Node 1 idle.
+        assert_eq!(view.node(1).backlog_ns, 0);
+        assert_eq!(view.node(1).utilization, 0.0);
+        assert_eq!(view.link_backlog_between(0, 1), 400);
+        // Same-node queries report the (idle) shared WAN, never a
+        // pair's backlog — mirroring link_between's routing.
+        assert_eq!(view.link_backlog_between(0, 0), 0);
+        assert_eq!(view.link_backlog_between(1, 1), 0);
+        assert_eq!(view.total_backlog_ns(), 500);
+        assert_eq!(view.mean_backlog_ns(), 250);
+        // A snapshot at time 0 reports zero utilization, not NaN.
+        assert_eq!(res.view(0).node(0).utilization, 0.0);
+    }
+
+    #[test]
+    fn view_of_shared_wan_reports_one_link() {
+        let mut res = SchedResources::new(3, 2);
+        res.link().reserve(0, 800);
+        let view = res.view(300);
+        assert_eq!(view.link_backlog_between(0, 1), 500);
+        assert_eq!(view.link_backlog_between(1, 2), 500);
+        assert_eq!(view.link_backlog_between(2, 2), 500);
+    }
+
+    #[test]
+    fn lane_counts_track_resizing() {
+        let mut res = SchedResources::mesh(&[2, 4]);
+        assert_eq!(res.cpu_lanes(), 6);
+        assert_eq!(res.link_lanes(), 1);
+        res.add_node(8);
+        assert_eq!(res.cpu_lanes(), 14);
+        assert_eq!(res.link_lanes(), 3);
+        res.remove_last_node();
+        assert_eq!((res.cpu_lanes(), res.link_lanes()), (6, 1));
+        assert_eq!(SchedResources::new(2, 4).link_lanes(), 1);
+    }
+
+    #[test]
+    fn add_node_preserves_existing_timelines() {
+        let mut res = SchedResources::heterogeneous(&[2, 2]);
+        res.cpu(1).reserve(0, 5_000);
+        let idx = res.add_node(8);
+        assert_eq!(idx, 2);
+        assert_eq!(res.node_count(), 3);
+        assert_eq!(res.cpu(2).capacity(), 8);
+        assert_eq!(res.cpu(1).busy_until(), 5_000);
+        // The new node starts idle.
+        assert_eq!(res.cpu(2).reserve(0, 10), 0);
+    }
+
+    #[test]
+    fn add_node_extends_the_mesh_without_disturbing_pairs() {
+        let mut res = SchedResources::mesh(&[4, 4, 4]);
+        res.link_between(0, 2).reserve(0, 7_000);
+        res.add_node(4);
+        // The reserved pair kept its timeline across the re-index…
+        assert_eq!(res.link_between(0, 2).busy_until(), 7_000);
+        // …and every pair touching the new node is fresh.
+        for other in 0..3 {
+            assert_eq!(res.link_between(other, 3).reserve(0, 0), 0);
+            assert_eq!(res.link_between(other, 3).busy_until(), 0);
+        }
+    }
+
+    #[test]
+    fn remove_last_node_retires_its_reservations() {
+        let mut res = SchedResources::mesh(&[4, 4, 4]);
+        res.cpu(2).reserve(0, 1_000);
+        res.cpu(0).reserve(0, 300);
+        res.link_between(1, 2).reserve(0, 2_000);
+        res.link_between(0, 1).reserve(0, 400);
+        let (cpu_before, _) = res.cpu_reserved();
+        let (link_before, _) = res.link_reserved();
+        res.remove_last_node();
+        assert_eq!(res.node_count(), 2);
+        // Totals are monotone: retired time stays in the books…
+        assert_eq!(res.cpu_reserved(), (cpu_before, 8));
+        assert_eq!(res.link_reserved().0, link_before);
+        assert_eq!(res.link_reserved().1, 1);
+        // …and the surviving pair kept its reservations.
+        assert_eq!(res.link_between(0, 1).busy_until(), 400);
+        res.reset();
+        assert_eq!(res.cpu_reserved().0, 0);
+        assert_eq!(res.link_reserved().0, 0);
+    }
+
+    #[test]
+    fn grown_then_shrunk_mesh_keeps_pair_indexing_consistent() {
+        let mut res = SchedResources::mesh(&[2, 2]);
+        res.add_node(2);
+        res.add_node(2);
+        res.link_between(1, 3).reserve(0, 900);
+        res.link_between(2, 3).reserve(0, 1_100);
+        res.remove_last_node();
+        // Pairs among the survivors are untouched and distinct.
+        assert_eq!(res.link_between(0, 1).busy_until(), 0);
+        assert_eq!(res.link_between(0, 2).busy_until(), 0);
+        assert_eq!(res.link_between(1, 2).busy_until(), 0);
+        // The dropped pairs' 2_000 ns went into the retired total.
+        assert_eq!(res.link_reserved().0, 2_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn removing_the_only_node_panics() {
+        SchedResources::new(1, 2).remove_last_node();
+    }
+
+    #[test]
+    fn backlog_at_drains_to_zero() {
+        let mut cpu = Timeline::new("cpu", 1);
+        cpu.reserve(0, 1_000);
+        assert_eq!(cpu.backlog_at(0), 1_000);
+        assert_eq!(cpu.backlog_at(400), 600);
+        assert_eq!(cpu.backlog_at(1_000), 0);
+        assert_eq!(cpu.backlog_at(5_000), 0);
     }
 
     #[test]
