@@ -124,7 +124,7 @@ impl RuncPair {
         let encoded_len = encoded.len();
         self.sandbox_a.account().alloc(encoded_len as u64);
         let serialize_ns =
-            cost.serialize_host_ns(payload.flat().len(), payload.value().node_count());
+            cost.serialize_host_ns(payload.flat().len(), payload.value_nodes());
         self.sandbox_a.charge_user(serialize_ns);
 
         // HTTP POST to the target.
@@ -143,7 +143,7 @@ impl RuncPair {
             .map_err(|e| PlatformError::Transfer(format!("deserialize failed: {e}")))?;
         self.sandbox_b.account().alloc(payload.flat().len() as u64);
         let deserialize_ns =
-            cost.deserialize_host_ns(payload.flat().len(), payload.value().node_count());
+            cost.deserialize_host_ns(payload.flat().len(), payload.value_nodes());
         self.sandbox_b.charge_user(deserialize_ns);
         let latency_ns = clock.now() - started;
         self.sandbox_b.account().free((received.body.len() + payload.flat().len()) as u64);

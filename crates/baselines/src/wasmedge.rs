@@ -205,7 +205,7 @@ impl WasmedgePair {
         // Serialize in-VM (single-threaded).
         let encoded = text::to_text(payload.value());
         let serialize_ns =
-            cost.serialize_wasm_ns(payload.flat().len(), payload.value().node_count());
+            cost.serialize_wasm_ns(payload.flat().len(), payload.value_nodes());
         self.sandbox_a.charge_user(serialize_ns);
         // The serialized document lives in guest memory too.
         let addr = Self::invoke_charged(
@@ -267,7 +267,7 @@ impl WasmedgePair {
         let value = text::from_text(body)
             .map_err(|e| PlatformError::Transfer(format!("deserialize failed: {e}")))?;
         let deserialize_ns =
-            cost.deserialize_wasm_ns(payload.flat().len(), payload.value().node_count());
+            cost.deserialize_wasm_ns(payload.flat().len(), payload.value_nodes());
         self.sandbox_b.charge_user(deserialize_ns);
         let latency_ns = clock.now() - started;
 

@@ -1,0 +1,363 @@
+//! Engine-throughput benchmark — the wall-clock trajectory gate.
+//!
+//! Every other binary in this crate measures *virtual* time. This one
+//! measures the **host wall-clock cost of the simulation engine itself**:
+//! how many workflow instances per second of real time the stack pushes
+//! through, and how many nanoseconds each engine event costs. It runs
+//! four scenarios over the Roadrunner plane (three-function pipeline,
+//! co-located deployment, fig12/fig13-style cluster):
+//!
+//! * `serial` — back-to-back [`execute`] runs (the paper-figure path);
+//! * `concurrent` — [`execute_concurrent_at`] on fresh resources per
+//!   instance (the uncontended DAG engine);
+//! * `open_loop` — a fig12-style [`OpenLoop`] sweep onto shared
+//!   resources;
+//! * `closed_loop` — a fig13-style [`ClosedLoop`] with the backlog
+//!   autoscaler in the loop.
+//!
+//! Each scenario is measured twice **in the same run**. For `serial`
+//! and `concurrent` the baseline is the legacy per-call entry points
+//! (re-validate + re-topo-sort every execution, no memo) against
+//! [`CompiledWorkflow`] reuse + [`MemoizedPlane`]. For the two load
+//! scenarios the baseline is the **unmemoized** engine — the
+//! compiled-workflow and allocation-free-view improvements live inside
+//! `loadgen` itself and apply to both sides, so those rows isolate the
+//! transfer memo (the dominant factor; the engine-level rework's effect
+//! shows in the serial/concurrent rows). Virtual-time outputs are
+//! asserted identical between the two — the optimizations may only
+//! change wall-clock — and the closed-loop sweep must show **≥ 5×
+//! instances/sec**, the regression gate future PRs are judged against.
+//!
+//! Emits `BENCH_engine.json` (written to the working directory) and the
+//! same JSON on stdout.
+//!
+//! Run: `cargo run -p roadrunner-bench --release --bin bench_engine [--quick]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
+use roadrunner_bench::{quick_flag, MB};
+use roadrunner_platform::{
+    execute, execute_compiled, execute_compiled_at, execute_concurrent_at, Autoscaler,
+    AutoscalerConfig, ClosedLoop, CompiledWorkflow, DataPlane, FunctionBundle, LoadRun,
+    MemoizedPlane, OpenLoop, WorkflowSpec,
+};
+use roadrunner_platform::{ArrivalProcess, LocalityFirst, PackThenSpill};
+use roadrunner_vkernel::{ClusterSpec, Nanos, SchedResources, Testbed};
+use roadrunner_wasm::encode;
+
+const NODES: usize = 4;
+const CORES: u32 = 4;
+
+fn cluster() -> Arc<Testbed> {
+    Arc::new(ClusterSpec::homogeneous(NODES, CORES, 8 << 30).build())
+}
+
+fn spec() -> WorkflowSpec {
+    WorkflowSpec::sequence(
+        "pipeline",
+        "bench",
+        ["src".to_owned(), "relay".to_owned(), "sink".to_owned()],
+    )
+}
+
+fn rr_bundle(name: &str, module: roadrunner_wasm::Module) -> Arc<FunctionBundle> {
+    Arc::new(
+        FunctionBundle::wasm(name, encode::encode(&module))
+            .with_workflow("bench_engine")
+            .with_tenant("bench"),
+    )
+}
+
+fn roadrunner_plane(bed: &Arc<Testbed>) -> RoadrunnerPlane {
+    let mut plane =
+        RoadrunnerPlane::new(Arc::clone(bed), ShimConfig::default().with_load_costs(false));
+    plane
+        .deploy(0, "src", rr_bundle("src", guest::producer()), "produce", false)
+        .expect("deploy src");
+    plane
+        .deploy(0, "relay", rr_bundle("relay", guest::relay()), "relay", false)
+        .expect("deploy relay");
+    plane
+        .deploy(0, "sink", rr_bundle("sink", guest::consumer()), "consume", true)
+        .expect("deploy sink");
+    plane
+}
+
+/// One timed measurement: `instances` workflow instances comprising
+/// `events` engine events, in `wall_s` seconds of host time.
+struct Measured {
+    instances: usize,
+    events: usize,
+    wall_s: f64,
+}
+
+impl Measured {
+    fn instances_per_sec(&self) -> f64 {
+        self.instances as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn ns_per_event(&self) -> f64 {
+        self.wall_s * 1e9 / self.events.max(1) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"instances\": {}, \"events\": {}, \"wall_ms\": {:.3}, ",
+                "\"instances_per_sec\": {:.1}, \"ns_per_event\": {:.0}}}"
+            ),
+            self.instances,
+            self.events,
+            self.wall_s * 1e3,
+            self.instances_per_sec(),
+            self.ns_per_event(),
+        )
+    }
+}
+
+fn timed(instances: usize, events_per_instance: usize, mut f: impl FnMut()) -> Measured {
+    let start = Instant::now();
+    f();
+    Measured {
+        instances,
+        events: instances * events_per_instance,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Virtual-time signature of a load run: what must stay byte-identical
+/// between the baseline and optimized engines.
+fn signature(run: &LoadRun) -> Vec<(usize, Nanos, Nanos, Nanos)> {
+    run.outcomes
+        .iter()
+        .map(|o| (o.user, o.release_ns, o.finish_ns, o.cold_start_ns))
+        .collect()
+}
+
+struct Scenario {
+    name: &'static str,
+    baseline: Measured,
+    optimized: Measured,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        self.optimized.instances_per_sec() / self.baseline.instances_per_sec().max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"scenario\": \"{}\", \"baseline\": {}, \"optimized\": {}, \"speedup\": {:.2}}}",
+            self.name,
+            self.baseline.json(),
+            self.optimized.json(),
+            self.speedup(),
+        )
+    }
+}
+
+fn main() {
+    let quick = quick_flag();
+    let payload_bytes = if quick { 2 * MB } else { 4 * MB };
+    let serial_n = if quick { 24 } else { 64 };
+    let open_n = if quick { 32 } else { 96 };
+    let (users, rounds) = if quick { (8, 4) } else { (16, 5) };
+    let payload = Bytes::from(vec![0xE1u8; payload_bytes]);
+    let workflow = spec();
+    let edges = workflow.dag.edge_count();
+
+    let bed = cluster();
+    let clock = bed.clock().clone();
+    let mut plane = roadrunner_plane(&bed);
+    // Warm-up: lazy connection establishment and the solo makespan the
+    // closed loop derives its think time from, all outside every timed
+    // window.
+    execute(&mut plane, &clock, &workflow, payload.clone()).expect("warmup");
+    let solo_ns = {
+        let mut fresh = SchedResources::mesh(&[CORES; NODES]);
+        execute_concurrent_at(&mut plane, &clock, &workflow, payload.clone(), &mut fresh, 0)
+            .expect("solo run")
+            .total_latency_ns
+    };
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+
+    // --- serial -----------------------------------------------------
+    {
+        let mut check = Vec::new();
+        let baseline = timed(serial_n, edges, || {
+            for _ in 0..serial_n {
+                let run = execute(&mut plane, &clock, &workflow, payload.clone())
+                    .expect("serial baseline");
+                check.push(run.total_latency_ns);
+            }
+        });
+        let compiled = CompiledWorkflow::compile(&workflow).expect("valid spec");
+        let mut memo = MemoizedPlane::new(&mut plane, clock.clone());
+        let mut check_opt = Vec::new();
+        let optimized = timed(serial_n, edges, || {
+            for _ in 0..serial_n {
+                let run = execute_compiled(&mut memo, &clock, &compiled, payload.clone())
+                    .expect("serial optimized");
+                check_opt.push(run.total_latency_ns);
+            }
+        });
+        assert_eq!(check, check_opt, "serial: virtual-time outputs must be identical");
+        scenarios.push(Scenario { name: "serial", baseline, optimized });
+    }
+
+    // --- concurrent -------------------------------------------------
+    {
+        let mut check = Vec::new();
+        let baseline = timed(serial_n, edges, || {
+            for _ in 0..serial_n {
+                let mut fresh = SchedResources::mesh(&[CORES; NODES]);
+                // Legacy entry point: re-validates and re-sorts per call.
+                let run = execute_concurrent_at(
+                    &mut plane,
+                    &clock,
+                    &workflow,
+                    payload.clone(),
+                    &mut fresh,
+                    0,
+                )
+                .expect("concurrent baseline");
+                check.push(run.total_latency_ns);
+            }
+        });
+        let compiled = CompiledWorkflow::compile(&workflow).expect("valid spec");
+        let mut memo = MemoizedPlane::new(&mut plane, clock.clone());
+        let mut check_opt = Vec::new();
+        let optimized = timed(serial_n, edges, || {
+            for _ in 0..serial_n {
+                let mut fresh = SchedResources::mesh(&[CORES; NODES]);
+                let run = execute_compiled_at(
+                    &mut memo,
+                    &clock,
+                    &compiled,
+                    payload.clone(),
+                    &mut fresh,
+                    0,
+                )
+                .expect("concurrent optimized");
+                check_opt.push(run.total_latency_ns);
+            }
+        });
+        assert_eq!(check, check_opt, "concurrent: virtual-time outputs must be identical");
+        scenarios.push(Scenario { name: "concurrent", baseline, optimized });
+    }
+
+    // --- open loop --------------------------------------------------
+    {
+        let load = OpenLoop {
+            spec: spec(),
+            payload: payload.clone(),
+            arrivals: ArrivalProcess::Uniform { interval_ns: (solo_ns / 2).max(1) },
+            instances: open_n,
+            cold_start_ns: None,
+        };
+        // Baseline = the unmemoized engine: loadgen's compiled-workflow
+        // and scratch-view savings apply to both sides here, so this row
+        // isolates the transfer memo.
+        let run_open = |plane: &mut dyn DataPlane| {
+            let mut policy = LocalityFirst::new();
+            let mut resources = SchedResources::mesh(&[CORES; NODES]);
+            load.run(plane, &clock, &mut resources, &mut policy).expect("open-loop run")
+        };
+        let mut base_run = None;
+        let baseline = timed(open_n, edges + 2, || {
+            base_run = Some(run_open(&mut plane));
+        });
+        let mut memo = MemoizedPlane::new(&mut plane, clock.clone());
+        let mut opt_run = None;
+        let optimized = timed(open_n, edges + 2, || {
+            opt_run = Some(run_open(&mut memo));
+        });
+        assert_eq!(
+            signature(&base_run.expect("baseline ran")),
+            signature(&opt_run.expect("optimized ran")),
+            "open loop: virtual-time outputs must be identical"
+        );
+        scenarios.push(Scenario { name: "open_loop", baseline, optimized });
+    }
+
+    // --- closed loop + autoscaler (the fig13-style sweep) -----------
+    {
+        let load = ClosedLoop {
+            spec: spec(),
+            payload: payload.clone(),
+            users,
+            think_ns: solo_ns / 4,
+            ramp_ns: solo_ns / 4,
+            instances: users * rounds,
+            cold_start_ns: None,
+        };
+        let run_closed = |plane: &mut dyn DataPlane| {
+            let mut policy = PackThenSpill::new(solo_ns);
+            let mut resources = SchedResources::mesh(&[CORES; 2]);
+            let mut scaler = Autoscaler::new(AutoscalerConfig {
+                min_nodes: 2,
+                max_nodes: NODES,
+                node_cores: CORES,
+                scale_up_backlog_ns: solo_ns / 2,
+                scale_down_backlog_ns: solo_ns / 16,
+                window_ns: (solo_ns / 4).max(1),
+            });
+            load.run_elastic(plane, &clock, &mut resources, &mut policy, Some(&mut scaler))
+                .expect("closed-loop run")
+        };
+        let instances = users * rounds;
+        let mut base_run = None;
+        let baseline = timed(instances, edges + 2, || {
+            base_run = Some(run_closed(&mut plane));
+        });
+        let mut memo = MemoizedPlane::new(&mut plane, clock.clone());
+        let mut opt_run = None;
+        let optimized = timed(instances, edges + 2, || {
+            opt_run = Some(run_closed(&mut memo));
+        });
+        let base_run = base_run.expect("baseline ran");
+        let opt_run = opt_run.expect("optimized ran");
+        assert_eq!(
+            signature(&base_run),
+            signature(&opt_run),
+            "closed loop: virtual-time outputs must be identical"
+        );
+        assert_eq!(base_run.scale_events, opt_run.scale_events);
+        scenarios.push(Scenario { name: "closed_loop", baseline, optimized });
+    }
+
+    let closed = scenarios.last().expect("closed loop measured");
+    let closed_speedup = closed.speedup();
+    assert!(
+        closed_speedup >= 5.0,
+        "optimization gate: closed-loop sweep must run >= 5x instances/sec \
+         (measured {closed_speedup:.2}x)"
+    );
+
+    let rows: Vec<String> = scenarios.iter().map(Scenario::json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"bench_engine\",\n",
+            "  \"quick\": {},\n",
+            "  \"cluster\": {{\"nodes\": {}, \"cores_per_node\": {}}},\n",
+            "  \"workflow\": \"src -> relay -> sink\",\n",
+            "  \"payload_mb\": {:.1},\n",
+            "  \"closed_loop_speedup\": {:.2},\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}"
+        ),
+        quick,
+        NODES,
+        CORES,
+        payload_bytes as f64 / MB as f64,
+        closed_speedup,
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_engine.json", format!("{json}\n")).expect("write BENCH_engine.json");
+    println!("{json}");
+}

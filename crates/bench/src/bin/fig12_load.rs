@@ -37,10 +37,10 @@ use std::sync::Arc;
 use bytes::Bytes;
 use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
 use roadrunner_baselines::{RuncPair, WasmedgePair};
-use roadrunner_bench::{quick_flag, MB};
+use roadrunner_bench::{flag, quick_flag, MB};
 use roadrunner_platform::{
     execute, execute_concurrent, ArrivalProcess, DataPlane, FunctionBundle, LocalityFirst,
-    OpenLoop, PlacementPolicy, SpreadLoad, WorkflowSpec,
+    MemoizedPlane, OpenLoop, PlacementPolicy, SpreadLoad, WorkflowSpec,
 };
 use roadrunner_vkernel::{secs, ClusterSpec, Nanos, SchedResources, Testbed};
 use roadrunner_wasm::encode;
@@ -176,6 +176,7 @@ fn uncontended(plane: &mut dyn DataPlane, bed: &Arc<Testbed>, payload: &Bytes) -
 
 fn main() {
     let quick = quick_flag();
+    let no_memo = flag("--no-memo");
     let payloads: Vec<usize> =
         if quick { vec![MB, 4 * MB] } else { vec![MB, 10 * MB, 30 * MB] };
     let instances = if quick { 8 } else { 16 };
@@ -221,14 +222,19 @@ fn main() {
                         instances,
                         cold_start_ns: None,
                     };
-                    let run = load
-                        .run(
-                            system.plane.as_mut(),
-                            &bed.clock().clone(),
-                            &mut resources,
-                            policy.as_mut(),
-                        )
-                        .expect("load run");
+                    // The load sweep admits identical instances: the
+                    // transfer-cost memo computes each distinct edge once
+                    // and replays it. Virtual-time results are
+                    // byte-identical; `--no-memo` produces the unmemoized
+                    // reference run the CI gate diffs this JSON against.
+                    let clock = bed.clock().clone();
+                    let run = if no_memo {
+                        load.run(system.plane.as_mut(), &clock, &mut resources, policy.as_mut())
+                    } else {
+                        let mut memo = MemoizedPlane::new(system.plane.as_mut(), clock.clone());
+                        load.run(&mut memo, &clock, &mut resources, policy.as_mut())
+                    }
+                    .expect("load run");
                     for outcome in &run.outcomes {
                         assert!(
                             outcome.sojourn_ns >= solo,

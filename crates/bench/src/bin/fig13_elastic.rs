@@ -45,10 +45,11 @@ use roadrunner_baselines::coldstart::{
     container_cold_ns, wasm_cold_ns, CONTAINER_IMAGE_BYTES, PAPER_WASM_HELLO_BYTES,
 };
 use roadrunner_baselines::{RuncPair, WasmedgePair};
-use roadrunner_bench::{quick_flag, MB};
+use roadrunner_bench::{flag, quick_flag, MB};
 use roadrunner_platform::{
     execute, execute_concurrent, Autoscaler, AutoscalerConfig, ClosedLoop, DataPlane,
-    FunctionBundle, LoadRun, LocalityFirst, PackThenSpill, PlacementPolicy, WorkflowSpec,
+    FunctionBundle, LoadRun, LocalityFirst, MemoizedPlane, PackThenSpill, PlacementPolicy,
+    WorkflowSpec,
 };
 use roadrunner_vkernel::{secs, ClusterSpec, Nanos, SchedResources, Testbed};
 use roadrunner_wasm::encode;
@@ -167,6 +168,9 @@ struct Knobs {
     rounds: usize,
     autoscaled: bool,
     cold: bool,
+    /// Wrap the plane in the transfer-cost memo (the default; `--no-memo`
+    /// turns it off to produce the byte-identity reference run).
+    memo: bool,
 }
 
 /// One closed-loop run of `users`×`rounds` instances, optionally
@@ -178,7 +182,7 @@ fn run_cell(
     policy_name: &str,
     knobs: Knobs,
 ) -> LoadRun {
-    let Knobs { users, rounds, autoscaled, cold } = knobs;
+    let Knobs { users, rounds, autoscaled, cold, memo } = knobs;
     let solo = system.solo_ns;
     // Think a quarter-makespan between requests and ramp users in a
     // quarter-makespan apart: at the top user counts demand concurrency
@@ -197,6 +201,16 @@ fn run_cell(
     let mut policy = policy_of(policy_name, solo);
     let mut resources = SchedResources::mesh(&[CORES; START_NODES]);
     let clock = bed.clock().clone();
+    // Identical instances hit the transfer-cost memo after the first;
+    // virtual-time results are byte-identical. The `--no-memo` reference
+    // run is what the CI gate diffs this JSON against.
+    let mut memo_plane;
+    let plane: &mut dyn DataPlane = if memo {
+        memo_plane = MemoizedPlane::new(system.plane.as_mut(), clock.clone());
+        &mut memo_plane
+    } else {
+        system.plane.as_mut()
+    };
     let run = if autoscaled {
         let mut scaler = Autoscaler::new(AutoscalerConfig {
             min_nodes: START_NODES,
@@ -206,15 +220,9 @@ fn run_cell(
             scale_down_backlog_ns: solo / 16,
             window_ns: (solo / 4).max(1),
         });
-        load.run_elastic(
-            system.plane.as_mut(),
-            &clock,
-            &mut resources,
-            policy.as_mut(),
-            Some(&mut scaler),
-        )
+        load.run_elastic(plane, &clock, &mut resources, policy.as_mut(), Some(&mut scaler))
     } else {
-        load.run(system.plane.as_mut(), &clock, &mut resources, policy.as_mut())
+        load.run(plane, &clock, &mut resources, policy.as_mut())
     }
     .expect("closed-loop run");
     assert_eq!(run.outcomes.len(), users * rounds, "every instance must complete");
@@ -284,6 +292,7 @@ impl Cell {
 
 fn main() {
     let quick = quick_flag();
+    let no_memo = flag("--no-memo");
     let payload_bytes = if quick { 2 * MB } else { 4 * MB };
     let users_sweep: Vec<usize> = if quick { vec![2, 16] } else { vec![4, 16, 32] };
     let rounds = if quick { 3 } else { 5 };
@@ -299,7 +308,8 @@ fn main() {
         // reproduce its placements exactly.
         {
             let system = &mut under_load[0];
-            let knobs = Knobs { users: users_sweep[0], rounds, autoscaled: false, cold: false };
+            let knobs =
+                Knobs { users: users_sweep[0], rounds, autoscaled: false, cold: false, memo: !no_memo };
             let a = run_cell(system, &bed, &payload, policy_name, knobs);
             let b = run_cell(system, &bed, &payload, policy_name, knobs);
             let pa: Vec<&[usize]> = a.outcomes.iter().map(|o| o.assignment.as_slice()).collect();
@@ -315,7 +325,7 @@ fn main() {
                         &bed,
                         &payload,
                         policy_name,
-                        Knobs { users, rounds, autoscaled, cold: false },
+                        Knobs { users, rounds, autoscaled, cold: false, memo: !no_memo },
                     );
                     cells.push(Cell {
                         system: system.label,
@@ -389,7 +399,8 @@ fn main() {
                 .sojourn_percentiles()
                 .expect("non-empty")
                 .mean_ns;
-            let knobs = Knobs { users: top_users, rounds, autoscaled: false, cold: true };
+            let knobs =
+                Knobs { users: top_users, rounds, autoscaled: false, cold: true, memo: !no_memo };
             let run = run_cell(system, &bed, &payload, policy_name, knobs);
             assert!(run.cold_starts() > 0, "{}: cold admission must charge someone", system.label);
             let cold_mean = run.sojourn_percentiles().expect("non-empty").mean_ns;

@@ -465,7 +465,14 @@ pub fn fanout_sweep(quick: bool) -> Vec<usize> {
 
 /// Whether `--quick` was passed on the command line.
 pub fn quick_flag() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    flag("--quick")
+}
+
+/// Whether `name` was passed on the command line. Load benches accept
+/// `--no-memo` through this to produce the unmemoized reference run CI
+/// diffs the (default) memoized output against.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 /// Prints a figure panel header.

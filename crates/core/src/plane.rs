@@ -245,14 +245,18 @@ impl RoadrunnerPlane {
     ///
     /// Shim access and trap errors.
     pub fn inject(&mut self, function: &str, payload: &[u8]) -> Result<(), RoadrunnerError> {
-        let entry = self.entry(function)?;
-        let shim_idx = entry.shim_idx;
-        let handler = entry.handler.clone();
-        let shim = &mut self.shims[shim_idx];
+        // Field-disjoint borrows (`functions` read, `shims` written) keep
+        // the handler name borrowed instead of cloning it per delivery —
+        // this runs once per edge of every workflow instance.
+        let entry = self
+            .functions
+            .get(function)
+            .ok_or_else(|| RoadrunnerError::UnknownModule(function.to_owned()))?;
+        let shim = &mut self.shims[entry.shim_idx];
         let region = shim.write_memory_host(function, payload)?;
         shim.invoke(
             function,
-            &handler,
+            &entry.handler,
             &[Value::I32(region.addr as i32), Value::I32(region.len as i32)],
         )?;
         Ok(())
@@ -263,16 +267,16 @@ impl RoadrunnerPlane {
         function: &str,
         region: MemoryRegion,
     ) -> Result<(), RoadrunnerError> {
-        let entry = self.entry(function)?;
-        let shim_idx = entry.shim_idx;
-        let handler = entry.handler.clone();
-        let returns = entry.handler_returns;
-        let out = self.shims[shim_idx].invoke(
+        let entry = self
+            .functions
+            .get(function)
+            .ok_or_else(|| RoadrunnerError::UnknownModule(function.to_owned()))?;
+        let out = self.shims[entry.shim_idx].invoke(
             function,
-            &handler,
+            &entry.handler,
             &[Value::I32(region.addr as i32), Value::I32(region.len as i32)],
         )?;
-        if returns {
+        if entry.handler_returns {
             debug_assert_eq!(out.len(), 1, "acking handlers return one value");
         }
         Ok(())
@@ -298,18 +302,9 @@ impl RoadrunnerPlane {
         // entry point), deliver the payload and run its handler.
         let t0 = clock.now();
         let from_shim = self.entry(from)?.shim_idx;
-        let has_outbox = {
-            let shim = &mut self.shims[from_shim];
-            // peek without consuming
-            shim.wasi_mut(from).ok(); // ensure module exists
-            let state_has = {
-                // take then restore is avoided: use a dedicated peek.
-                // Shim::take_outbox consumes; use ShimState::peek via
-                // peek API on the shim.
-                self.shims[from_shim].peek_outbox(from)?
-            };
-            state_has.is_some()
-        };
+        // Peek without consuming; `peek_outbox` itself rejects unknown
+        // modules, so no existence pre-check is needed.
+        let has_outbox = self.shims[from_shim].peek_outbox(from)?.is_some();
         if !has_outbox {
             self.inject(from, payload)?;
         }

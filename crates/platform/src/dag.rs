@@ -177,29 +177,27 @@ impl WorkflowDag {
     }
 
     /// Deterministic topological order (Kahn's algorithm, smallest ready
-    /// node id first).
+    /// node id first). The ready set is a min-heap, so the order costs
+    /// O((V + E) log V) instead of the O(V²) repeated scans a plain
+    /// ready-list would — same order, computed faster.
     ///
     /// # Errors
     ///
     /// [`PlatformError::InvalidWorkflow`] if the graph contains a cycle.
     pub fn topo_order(&self) -> Result<Vec<usize>, PlatformError> {
+        use std::cmp::Reverse;
         let n = self.node_count();
         let mut in_deg = self.in_degrees();
-        let mut ready: Vec<usize> = (0..n).filter(|&i| in_deg[i] == 0).collect();
+        // Smallest id first keeps the order stable across runs.
+        let mut ready: std::collections::BinaryHeap<Reverse<usize>> =
+            (0..n).filter(|&i| in_deg[i] == 0).map(Reverse).collect();
         let mut order = Vec::with_capacity(n);
-        while !ready.is_empty() {
-            // Smallest id first keeps the order stable across runs.
-            let (pos, _) = ready
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &id)| id)
-                .expect("ready set non-empty");
-            let u = ready.swap_remove(pos);
+        while let Some(Reverse(u)) = ready.pop() {
             order.push(u);
             for &v in &self.succ[u] {
                 in_deg[v] -= 1;
                 if in_deg[v] == 0 {
-                    ready.push(v);
+                    ready.push(Reverse(v));
                 }
             }
         }

@@ -16,7 +16,13 @@
 //!   sequence/fan-out/fan-in shapes.
 //! * [`workflow`] — the execution engines over a pluggable
 //!   [`workflow::DataPlane`]: a serial engine and a discrete-event
-//!   concurrent engine that overlaps independent edges in virtual time.
+//!   concurrent engine that overlaps independent edges in virtual time,
+//!   both with [`workflow::CompiledWorkflow`] fast paths that hoist
+//!   validation and topological sorting out of the per-execution loop.
+//! * [`memo`] — [`memo::MemoizedPlane`], a deterministic transfer-cost
+//!   memo over any [`workflow::DataPlane`]: identical edges replay their
+//!   recorded outcome (bytes, timing, virtual-clock advance) instead of
+//!   recomputing codec and cost-model work.
 //! * [`loadgen`] — multi-tenant load generation and the elastic control
 //!   loop: open- and closed-loop drivers over one completion-event
 //!   engine, instances placed per arrival by a
@@ -52,6 +58,7 @@ pub mod dag;
 pub mod deploy;
 pub mod error;
 pub mod loadgen;
+pub mod memo;
 pub mod metrics;
 pub mod registry;
 pub mod scheduler;
@@ -66,15 +73,17 @@ pub use loadgen::{
     Placed, ScaleAction, ScaleEvent,
 };
 pub use metrics::{
-    percentiles, MetricsCollector, P2Quantile, PercentileSummary, Sample, StreamingPercentiles,
-    Summary, STREAMING_EXACT_MAX,
+    percentiles, percentiles_sorted, MetricsCollector, P2Quantile, PercentileSummary, Sample,
+    StreamingPercentiles, Summary, STREAMING_EXACT_MAX,
 };
 pub use registry::FunctionRegistry;
 pub use scheduler::{
     LocalityFirst, PackThenSpill, Pinned, Placement, PlacementPolicy, RoundRobin, Scheduler,
     SpreadLoad,
 };
+pub use memo::MemoizedPlane;
 pub use workflow::{
-    critical_path_ns, execute, execute_concurrent, execute_concurrent_at, DataPlane, EdgeResult,
-    TransferTiming, WorkflowRun, WorkflowSpec,
+    critical_path_ns, execute, execute_compiled, execute_compiled_at, execute_concurrent,
+    execute_concurrent_at, CompiledWorkflow, DataPlane, EdgeResult, TransferTiming, WorkflowRun,
+    WorkflowSpec,
 };

@@ -7,7 +7,8 @@
 //! live [`ResourceView`] snapshot, asks the [`PlacementPolicy`] where the
 //! instance goes, charges an optional cold start for functions landing on
 //! a node for the first time, and executes the instance at its release
-//! time via [`execute_concurrent_at`] — so every in-flight instance
+//! time via [`execute_compiled_at`] (the spec is compiled **once per
+//! run**, not once per arrival) — so every in-flight instance
 //! contends for the same per-node core lanes and per-pair links in
 //! virtual time. Completion events close the loop: they gate the next
 //! arrival of a closed-loop user and give the [`Autoscaler`] its
@@ -36,9 +37,11 @@ use roadrunner_vkernel::sched::{EventQueue, ResourceView, SchedResources};
 use roadrunner_vkernel::{Nanos, VirtualClock};
 
 use crate::error::PlatformError;
-use crate::metrics::{percentiles, PercentileSummary, StreamingPercentiles};
+use crate::metrics::{percentiles_sorted, PercentileSummary, StreamingPercentiles};
 use crate::scheduler::PlacementPolicy;
-use crate::workflow::{execute_concurrent_at, DataPlane, TransferTiming, WorkflowSpec};
+use crate::workflow::{
+    execute_compiled_at, CompiledWorkflow, DataPlane, TransferTiming, WorkflowSpec,
+};
 
 /// The inter-arrival process of an open-loop workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +136,23 @@ impl<'a> Placed<'a> {
     }
 }
 
+/// The one definition of assignment-override placement resolution,
+/// shared by [`Placed`] and the engine-internal [`InstancePlane`]:
+/// `function`'s position in `names` indexes `nodes`; unlisted functions
+/// fall back to the wrapped plane's own placement.
+fn assigned_placement(
+    names: &[String],
+    nodes: &[usize],
+    inner: &dyn DataPlane,
+    function: &str,
+) -> Option<usize> {
+    names
+        .iter()
+        .position(|n| n == function)
+        .map(|i| nodes[i])
+        .or_else(|| inner.placement(function))
+}
+
 impl DataPlane for Placed<'_> {
     fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
         self.inner.transfer(from, to, payload)
@@ -148,11 +168,35 @@ impl DataPlane for Placed<'_> {
     }
 
     fn placement(&self, function: &str) -> Option<usize> {
-        self.names
-            .iter()
-            .position(|n| n == function)
-            .map(|i| self.nodes[i])
-            .or_else(|| self.inner.placement(function))
+        assigned_placement(&self.names, &self.nodes, self.inner, function)
+    }
+}
+
+/// The engine-internal, allocation-free sibling of [`Placed`]: borrows
+/// the run-wide function-name list (computed once per run, not once per
+/// instance) and the policy's assignment for this instance.
+struct InstancePlane<'a, 'b> {
+    inner: &'a mut dyn DataPlane,
+    names: &'b [String],
+    nodes: &'b [usize],
+}
+
+impl DataPlane for InstancePlane<'_, '_> {
+    fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
+        self.inner.transfer(from, to, payload)
+    }
+
+    fn transfer_detailed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        self.inner.transfer_detailed(from, to, payload)
+    }
+
+    fn placement(&self, function: &str) -> Option<usize> {
+        assigned_placement(self.names, self.nodes, self.inner, function)
     }
 }
 
@@ -232,6 +276,13 @@ pub struct LoadRun {
     pub scale_events: Vec<ScaleEvent>,
     /// Active node count when the run ended.
     pub final_nodes: usize,
+    /// Lazily sorted sojourn sample, so repeated percentile queries below
+    /// the streaming threshold sort the run once instead of per call.
+    /// Filled on the first [`sojourn_percentiles`](Self::sojourn_percentiles)
+    /// call; callers that mutate `outcomes` afterwards (the engine never
+    /// does) must treat the run as a new value — clone before mutating —
+    /// or the cached digest goes stale.
+    sorted_sojourns: std::sync::OnceLock<Vec<Nanos>>,
 }
 
 /// Instance-count threshold above which [`LoadRun::sojourn_percentiles`]
@@ -260,7 +311,9 @@ impl LoadRun {
     /// Sojourn-time percentile digest; `None` for an empty run. Uses the
     /// exact nearest-rank path below [`STREAMING_DIGEST_MIN`] instances
     /// and the streaming P² estimator at or above it (large runs would
-    /// otherwise sort a full copy per call).
+    /// otherwise sort a full copy per call). The exact path caches its
+    /// sorted sample in the run, so the second and later queries are
+    /// rank lookups, not fresh sorts.
     pub fn sojourn_percentiles(&self) -> Option<PercentileSummary> {
         if self.outcomes.len() >= STREAMING_DIGEST_MIN {
             let mut digest = StreamingPercentiles::new();
@@ -269,8 +322,13 @@ impl LoadRun {
             }
             digest.summary()
         } else {
-            let sojourns: Vec<Nanos> = self.outcomes.iter().map(|o| o.sojourn_ns).collect();
-            percentiles(&sojourns)
+            let sorted = self.sorted_sojourns.get_or_init(|| {
+                let mut sojourns: Vec<Nanos> =
+                    self.outcomes.iter().map(|o| o.sojourn_ns).collect();
+                sojourns.sort_unstable();
+                sojourns
+            });
+            percentiles_sorted(sorted)
         }
     }
 
@@ -492,6 +550,15 @@ fn drive(
     let (cpu0, _) = resources.cpu_reserved();
     let (link0, _) = resources.link_reserved();
 
+    // Per-run precomputation: validate/topo-sort the spec once for every
+    // instance (the compiled form), and intern the function-name list the
+    // placement override needs — neither is per-arrival work.
+    let compiled = CompiledWorkflow::compile(spec)?;
+    let fn_names: Vec<String> = spec.functions().iter().map(|&f| f.to_owned()).collect();
+    // Scratch snapshot refreshed in place at every observation point:
+    // the per-event view is allocation-free in steady state.
+    let mut view = ResourceView::default();
+
     let mut queue: EventQueue<LoadEvent> = EventQueue::new();
     // Closed-loop admission bookkeeping: how many instances have been
     // admitted so far, against the total bound.
@@ -533,7 +600,13 @@ fn drive(
             link_lane_ns += dt * link_lanes as u128;
         }
         prev_event_ns = Some(now);
-        let scaled_view = autoscaler.as_deref_mut().map(|s| s.observe(now, resources));
+        let observed = match autoscaler.as_deref_mut() {
+            Some(scaler) => {
+                scaler.observe_into(now, resources, &mut view);
+                true
+            }
+            None => false,
+        };
         let nodes_now = resources.node_count();
         if nodes_now != known_nodes {
             // Scale-in drops node timelines: anything warmed on a
@@ -548,8 +621,9 @@ fn drive(
         }
         match event {
             LoadEvent::Arrival { user } => {
-                let view: ResourceView =
-                    scaled_view.unwrap_or_else(|| resources.view(now));
+                if !observed {
+                    resources.view_into(now, &mut view);
+                }
                 let assignment = policy.place(spec, &view);
                 // Charge cold starts: every (function, node) pair seen
                 // for the first time reserves the fig2a-style cost on
@@ -563,11 +637,12 @@ fn drive(
                         }
                     }
                 }
-                let mut placed = Placed::new(plane, spec, &assignment);
-                let run = execute_concurrent_at(
+                let mut placed =
+                    InstancePlane { inner: plane, names: &fn_names, nodes: &assignment };
+                let run = execute_compiled_at(
                     &mut placed,
                     clock,
-                    spec,
+                    &compiled,
                     payload.clone(),
                     resources,
                     release,
@@ -617,6 +692,7 @@ fn drive(
         link_utilization: util(link1 - link0, link_lane_ns),
         scale_events: autoscaler.map(|a| a.events().to_vec()).unwrap_or_default(),
         final_nodes: resources.node_count(),
+        sorted_sojourns: std::sync::OnceLock::new(),
     })
 }
 
@@ -700,13 +776,31 @@ impl Autoscaler {
     /// that is **current after any decision** (freshly re-snapshotted
     /// when the observation resized the cluster), so callers placing an
     /// instance at the same event need not snapshot twice.
+    ///
+    /// Allocates a fresh view; the load engine's per-event path uses
+    /// [`observe_into`](Self::observe_into) with a reusable scratch view
+    /// instead.
     pub fn observe(&mut self, now: Nanos, resources: &mut SchedResources) -> ResourceView {
-        let view = resources.view(now);
+        let mut view = ResourceView::default();
+        self.observe_into(now, resources, &mut view);
+        view
+    }
+
+    /// [`observe`](Self::observe), refreshing the caller's scratch `view`
+    /// in place (allocation-free in steady state). On return `view` is
+    /// current **after** any scaling decision this observation took.
+    pub fn observe_into(
+        &mut self,
+        now: Nanos,
+        resources: &mut SchedResources,
+        view: &mut ResourceView,
+    ) {
+        resources.view_into(now, view);
         self.window.push((now, view.mean_backlog_ns()));
         let cutoff = now.saturating_sub(self.cfg.window_ns);
         self.window.retain(|&(t, _)| t >= cutoff);
         if now.saturating_sub(self.last_decision_ns) < self.cfg.window_ns {
-            return view;
+            return;
         }
         let signal = self.window.iter().map(|&(_, b)| b).sum::<Nanos>()
             / self.window.len().max(1) as u64;
@@ -737,9 +831,9 @@ impl Autoscaler {
             });
             self.last_decision_ns = now;
         } else {
-            return view;
+            return;
         }
-        resources.view(now)
+        resources.view_into(now, view);
     }
 }
 

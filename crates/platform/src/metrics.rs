@@ -63,13 +63,31 @@ pub struct PercentileSummary {
 /// Nearest-rank percentile digest of `latencies`; `None` when empty.
 ///
 /// Nearest-rank means the reported value is always an *observed*
-/// latency: the ⌈q·N/100⌉-th smallest observation.
+/// latency: the ⌈q·N/100⌉-th smallest observation. Copies and sorts;
+/// callers that already hold (or cache) a sorted sample should use
+/// [`percentiles_sorted`] and skip the per-query sort.
 pub fn percentiles(latencies: &[Nanos]) -> Option<PercentileSummary> {
     if latencies.is_empty() {
         return None;
     }
     let mut sorted = latencies.to_vec();
     sorted.sort_unstable();
+    percentiles_sorted(&sorted)
+}
+
+/// [`percentiles`] over an already **ascending-sorted** sample — pure
+/// rank lookups, no copy, no sort. Produces bit-identical digests to
+/// [`percentiles`] on the same observations.
+///
+/// # Panics
+///
+/// May return nonsensical ranks (debug builds assert) if `sorted` is not
+/// actually sorted.
+pub fn percentiles_sorted(sorted: &[Nanos]) -> Option<PercentileSummary> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
     let count = sorted.len();
     let rank = |q: usize| sorted[(count * q).div_ceil(100).max(1) - 1];
     Some(PercentileSummary {

@@ -15,6 +15,13 @@
 //!   ([`roadrunner_vkernel::sched`]) serialize contended cores and the
 //!   shared link. Its makespan is bounded below by the DAG's critical
 //!   path ([`critical_path_ns`]) and above by the serial total.
+//!
+//! Both engines have compiled fast paths — [`execute_compiled`] /
+//! [`execute_compiled_at`] over a [`CompiledWorkflow`] — that hoist
+//! validation, topological sorting and fan-in derivation out of the per-
+//! execution loop; the plain entry points compile on the fly and
+//! delegate. Load generators admitting thousands of instances of one
+//! spec compile once and reuse.
 
 use bytes::Bytes;
 use roadrunner_vkernel::sched::{EventQueue, SchedResources};
@@ -112,6 +119,93 @@ impl WorkflowSpec {
     /// [`PlatformError::InvalidWorkflow`] describing the problem.
     pub fn validate(&self) -> Result<(), PlatformError> {
         self.dag.validate()
+    }
+}
+
+/// A workflow spec with every derived structure the engines need,
+/// computed **once** and reused across executions.
+///
+/// The load generators admit thousands of instances of the *same* spec;
+/// re-validating the graph, re-running Kahn's algorithm and re-deriving
+/// fan-in counts per arrival was pure rework. Compiling hoists all of it:
+///
+/// * structural validation ([`WorkflowSpec::validate`]) has already
+///   passed — a `CompiledWorkflow` is valid by construction;
+/// * [`topo_edges`](Self::topo_edges) is the serial engine's execution
+///   order;
+/// * [`fan_in`](Self::fan_in) (in-degrees), [`roots`](Self::roots) and
+///   [`leaves`](Self::leaves) seed the concurrent engine's readiness
+///   tracking without per-run graph walks.
+///
+/// Compile once per spec, then drive [`execute_compiled`] /
+/// [`execute_compiled_at`] with it as many times as needed.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkflow<'a> {
+    spec: &'a WorkflowSpec,
+    topo_edges: Vec<(usize, usize)>,
+    in_degrees: Vec<usize>,
+    roots: Vec<usize>,
+    leaves: Vec<usize>,
+}
+
+impl<'a> CompiledWorkflow<'a> {
+    /// Validates `spec` and precomputes the execution structures.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::InvalidWorkflow`] exactly when
+    /// [`WorkflowSpec::validate`] fails.
+    pub fn compile(spec: &'a WorkflowSpec) -> Result<Self, PlatformError> {
+        spec.validate()?;
+        let dag = &spec.dag;
+        Ok(Self {
+            spec,
+            topo_edges: dag.topo_edges()?,
+            in_degrees: dag.in_degrees(),
+            roots: dag.roots(),
+            leaves: dag.leaves(),
+        })
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &'a WorkflowSpec {
+        self.spec
+    }
+
+    /// The underlying graph.
+    pub fn dag(&self) -> &'a WorkflowDag {
+        &self.spec.dag
+    }
+
+    /// Number of nodes in the graph.
+    pub fn node_count(&self) -> usize {
+        self.in_degrees.len()
+    }
+
+    /// Number of edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.topo_edges.len()
+    }
+
+    /// Edges in deterministic execution order (sources topologically,
+    /// each source's out-edges in insertion order).
+    pub fn topo_edges(&self) -> &[(usize, usize)] {
+        &self.topo_edges
+    }
+
+    /// Fan-in (in-degree) of node `i` — how many deliveries it waits for.
+    pub fn fan_in(&self, i: usize) -> usize {
+        self.in_degrees[i]
+    }
+
+    /// Entry nodes (no incoming edges).
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Result nodes (no outgoing edges).
+    pub fn leaves(&self) -> &[usize] {
+        &self.leaves
     }
 }
 
@@ -281,19 +375,37 @@ pub fn execute(
     spec: &WorkflowSpec,
     payload: Bytes,
 ) -> Result<WorkflowRun, PlatformError> {
-    spec.validate()?;
-    let dag = &spec.dag;
+    execute_compiled(plane, clock, &CompiledWorkflow::compile(spec)?, payload)
+}
+
+/// [`execute`] over a pre-compiled workflow: validation and topological
+/// sorting were paid once at [`CompiledWorkflow::compile`] time, so
+/// repeated executions of the same spec skip all per-run graph work.
+///
+/// # Errors
+///
+/// Propagates transfer errors.
+pub fn execute_compiled(
+    plane: &mut dyn DataPlane,
+    clock: &VirtualClock,
+    compiled: &CompiledWorkflow<'_>,
+    payload: Bytes,
+) -> Result<WorkflowRun, PlatformError> {
+    let dag = compiled.dag();
     let started = clock.now();
-    let mut node_payload: Vec<Option<Bytes>> = vec![None; dag.node_count()];
-    for root in dag.roots() {
+    let mut node_payload: Vec<Option<Bytes>> = vec![None; compiled.node_count()];
+    for &root in compiled.roots() {
         node_payload[root] = Some(payload.clone());
     }
-    let mut edges = Vec::with_capacity(dag.edge_count());
-    for (u, v) in dag.topo_edges()? {
-        let current = node_payload[u].clone().expect("topo order delivers inputs first");
+    let mut edges = Vec::with_capacity(compiled.edge_count());
+    for &(u, v) in compiled.topo_edges() {
+        // One logical copy per transfer: the handle passed to the plane
+        // IS the copy (Bytes handoff), sized before the move.
+        let current = node_payload[u].as_ref().expect("topo order delivers inputs first").clone();
+        let bytes = current.len();
         let (from, to) = (dag.node_name(u), dag.node_name(v));
         let t0 = clock.now();
-        let received = plane.transfer(from, to, current.clone())?;
+        let received = plane.transfer(from, to, current)?;
         let t1 = clock.now();
         if node_payload[v].is_none() {
             node_payload[v] = Some(received.clone());
@@ -301,7 +413,7 @@ pub fn execute(
         edges.push(EdgeResult {
             from: from.to_owned(),
             to: to.to_owned(),
-            bytes: current.len(),
+            bytes,
             latency_ns: t1 - t0,
             start_ns: t0 - started,
             finish_ns: t1 - started,
@@ -365,25 +477,48 @@ pub fn execute_concurrent_at(
     resources: &mut SchedResources,
     release_ns: Nanos,
 ) -> Result<WorkflowRun, PlatformError> {
-    spec.validate()?;
-    let dag = &spec.dag;
-    let n = dag.node_count();
-    let mut pending = dag.in_degrees();
+    execute_compiled_at(plane, clock, &CompiledWorkflow::compile(spec)?, payload, resources, release_ns)
+}
+
+/// [`execute_concurrent_at`] over a pre-compiled workflow — the admission
+/// primitive the load generators actually drive: one
+/// [`CompiledWorkflow`] serves every arrival of a spec, so per-instance
+/// cost is the edges themselves, not graph validation and sorting.
+///
+/// # Errors
+///
+/// Propagates transfer errors.
+pub fn execute_compiled_at(
+    plane: &mut dyn DataPlane,
+    clock: &VirtualClock,
+    compiled: &CompiledWorkflow<'_>,
+    payload: Bytes,
+    resources: &mut SchedResources,
+    release_ns: Nanos,
+) -> Result<WorkflowRun, PlatformError> {
+    let dag = compiled.dag();
+    let n = compiled.node_count();
+    let mut pending = compiled.in_degrees.clone();
     let mut node_payload: Vec<Option<Bytes>> = vec![None; n];
     let mut node_ready: Vec<Nanos> = vec![release_ns; n];
     let mut queue = EventQueue::new();
-    for root in dag.roots() {
+    for &root in compiled.roots() {
         node_payload[root] = Some(payload.clone());
         queue.push(release_ns, root);
     }
-    let mut edges = Vec::with_capacity(dag.edge_count());
+    let mut edges = Vec::with_capacity(compiled.edge_count());
     let mut makespan: Nanos = 0;
     while let Some((ready_ns, u)) = queue.pop() {
         for &v in dag.successors(u) {
-            let current = node_payload[u].clone().expect("events fire after inputs exist");
+            // One logical copy per transfer (satellite of ISSUE 5): the
+            // reference-counted handle given to the plane is the single
+            // per-edge copy; its length is read before the move.
+            let current =
+                node_payload[u].as_ref().expect("events fire after inputs exist").clone();
+            let bytes = current.len();
             let (from, to) = (dag.node_name(u).to_owned(), dag.node_name(v).to_owned());
             let t0 = clock.now();
-            let (received, timing) = plane.transfer_detailed(&from, &to, current.clone())?;
+            let (received, timing) = plane.transfer_detailed(&from, &to, current)?;
             let measured = clock.now() - t0;
             let timing = timing.unwrap_or(TransferTiming {
                 prepare_ns: 0,
@@ -420,7 +555,7 @@ pub fn execute_concurrent_at(
             edges.push(EdgeResult {
                 from,
                 to,
-                bytes: current.len(),
+                bytes,
                 latency_ns: timing.total_ns(),
                 start_ns: start,
                 finish_ns: finish,
@@ -855,6 +990,74 @@ mod tests {
         assert_eq!(run.edge("s", "t0").unwrap().start_ns, 0);
         assert_eq!(run.edge("s", "t1").unwrap().start_ns, 1_000);
         assert_eq!(run.edge("s", "t1").unwrap().finish_ns, 2_000);
+    }
+
+    #[test]
+    fn compiled_workflow_exposes_the_precomputed_shapes() {
+        let spec = diamond_spec();
+        let compiled = CompiledWorkflow::compile(&spec).unwrap();
+        assert_eq!(compiled.node_count(), 4);
+        assert_eq!(compiled.edge_count(), 4);
+        assert_eq!(compiled.roots(), &[0]);
+        assert_eq!(compiled.leaves(), &[3]);
+        assert_eq!(compiled.fan_in(0), 0);
+        assert_eq!(compiled.fan_in(3), 2);
+        assert_eq!(compiled.topo_edges(), spec.dag.topo_edges().unwrap().as_slice());
+        assert_eq!(compiled.spec(), &spec);
+        // Invalid specs fail at compile time, same error the engines gave.
+        let bad = WorkflowSpec::sequence("wf", "t", ["only".to_owned()]);
+        assert!(matches!(
+            CompiledWorkflow::compile(&bad),
+            Err(PlatformError::InvalidWorkflow(_))
+        ));
+    }
+
+    #[test]
+    fn compiled_engines_match_the_plain_entry_points() {
+        let spec = diamond_spec();
+        let payload = Bytes::from(vec![5u8; 3_000]);
+        let compiled = CompiledWorkflow::compile(&spec).unwrap();
+
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let plain = execute(&mut plane, &clock, &spec, payload.clone()).unwrap();
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let fast = execute_compiled(&mut plane, &clock, &compiled, payload.clone()).unwrap();
+        assert_eq!(plain.total_latency_ns, fast.total_latency_ns);
+        assert_eq!(plain.edges.len(), fast.edges.len());
+        for (a, b) in plain.edges.iter().zip(&fast.edges) {
+            assert_eq!((&a.from, &a.to, a.bytes, a.latency_ns), (&b.from, &b.to, b.bytes, b.latency_ns));
+            assert_eq!(a.checksum(), b.checksum());
+        }
+
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let mut res = SchedResources::new(1, 4);
+        let plain =
+            execute_concurrent_at(&mut plane, &clock, &spec, payload.clone(), &mut res, 500)
+                .unwrap();
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let mut res = SchedResources::new(1, 4);
+        // The same compiled form serves repeated executions.
+        for _ in 0..2 {
+            let fast = execute_compiled_at(
+                &mut plane,
+                &clock,
+                &compiled,
+                payload.clone(),
+                &mut SchedResources::new(1, 4),
+                500,
+            )
+            .unwrap();
+            assert_eq!(fast.total_latency_ns, plain.total_latency_ns);
+        }
+        let fast =
+            execute_compiled_at(&mut plane, &clock, &compiled, payload, &mut res, 500).unwrap();
+        for (a, b) in plain.edges.iter().zip(&fast.edges) {
+            assert_eq!((a.start_ns, a.finish_ns, a.latency_ns), (b.start_ns, b.finish_ns, b.latency_ns));
+        }
     }
 
     #[test]

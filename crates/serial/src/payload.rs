@@ -53,6 +53,11 @@ pub struct Payload {
     kind: PayloadKind,
     value: Value,
     flat: Bytes,
+    /// [`Value::node_count`] of `value`, derived once at construction.
+    /// The codec cost models consume it on **every** transfer; for
+    /// structured payloads the count is an O(records) tree walk, so
+    /// caching it here takes that walk out of the per-transfer path.
+    value_nodes: usize,
 }
 
 impl Payload {
@@ -96,7 +101,13 @@ impl Payload {
         }
         let s = String::from_utf8(buf).expect("alphabet is ASCII");
         let flat = Bytes::from(s.clone().into_bytes());
-        Payload { kind: PayloadKind::Text, value: Value::Str(s), flat }
+        Self::from_parts(PayloadKind::Text, Value::Str(s), flat)
+    }
+
+    /// Assembles a payload, deriving the cached structure count.
+    fn from_parts(kind: PayloadKind, value: Value, flat: Bytes) -> Self {
+        let value_nodes = value.node_count();
+        Payload { kind, value, flat, value_nodes }
     }
 
     fn sensor_records(seed: u64, size: usize) -> Self {
@@ -128,11 +139,7 @@ impl Payload {
                 ("flow", Value::F64(flow as f64)),
             ]));
         }
-        Payload {
-            kind: PayloadKind::SensorRecords,
-            value: Value::List(records),
-            flat: Bytes::from(flat),
-        }
+        Self::from_parts(PayloadKind::SensorRecords, Value::List(records), Bytes::from(flat))
     }
 
     fn image_frame(seed: u64, size: usize) -> Self {
@@ -145,11 +152,7 @@ impl Payload {
             buf.push((rng.next() & 0xFF) as u8);
         }
         let flat = Bytes::from(buf);
-        Payload {
-            kind: PayloadKind::ImageFrame,
-            value: Value::Bytes(flat.clone()),
-            flat,
-        }
+        Self::from_parts(PayloadKind::ImageFrame, Value::Bytes(flat.clone()), flat)
     }
 
     /// Wraps pre-flattened bytes as an opaque payload: the structured
@@ -163,11 +166,7 @@ impl Payload {
     /// assert_eq!(p.flat().len(), 2);
     /// ```
     pub fn opaque(flat: Bytes) -> Self {
-        Payload {
-            kind: PayloadKind::Opaque,
-            value: Value::Bytes(flat.clone()),
-            flat,
-        }
+        Self::from_parts(PayloadKind::Opaque, Value::Bytes(flat.clone()), flat)
     }
 
     /// Which workload family this payload belongs to.
@@ -178,6 +177,13 @@ impl Payload {
     /// Structured view — what the HTTP baselines serialize.
     pub fn value(&self) -> &Value {
         &self.value
+    }
+
+    /// Cached [`Value::node_count`] of [`value`](Self::value) — the
+    /// structure-complexity input of the codec cost models, derived once
+    /// at construction instead of re-walked on every transfer.
+    pub fn value_nodes(&self) -> usize {
+        self.value_nodes
     }
 
     /// Flat in-memory representation — what Roadrunner ships untouched.

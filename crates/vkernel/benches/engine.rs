@@ -1,0 +1,107 @@
+//! Micro-benchmarks for the discrete-event engine's hot primitives.
+//!
+//! These are the inner-loop operations every admitted workflow instance
+//! pays — lane reservation, event queueing, resource snapshots, payload
+//! handle cloning — tracked so engine-level regressions show up at the
+//! primitive level before they show up in `bench_engine`'s end-to-end
+//! instances/sec.
+//!
+//! Run: `cargo bench -p roadrunner-vkernel`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use roadrunner_serial::payload::{Payload, PayloadKind};
+use roadrunner_vkernel::sched::{EventQueue, ResourceView, SchedResources, Timeline};
+
+const OPS: u64 = 10_000;
+
+fn bench_timeline_reserve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeline_reserve");
+    group.throughput(Throughput::Elements(OPS));
+    for capacity in [1usize, 4, 64] {
+        group.bench_function(format!("cap{capacity}"), |b| {
+            b.iter(|| {
+                let mut lane = Timeline::new("cpu", capacity);
+                for i in 0..OPS {
+                    black_box(lane.reserve(i, 100));
+                }
+                lane.busy_until()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("push_pop", |b| {
+        b.iter(|| {
+            let mut queue = EventQueue::new();
+            // Deterministic scattered times (xorshift-ish) then a full
+            // drain: the load engine's arrival/completion pattern.
+            let mut t: u64 = 0x9E37_79B9;
+            for i in 0..OPS {
+                t ^= t << 13;
+                t ^= t >> 7;
+                t ^= t << 17;
+                queue.push(t % 1_000_000, i);
+            }
+            let mut last = 0;
+            while let Some((at, _)) = queue.pop() {
+                last = at;
+            }
+            last
+        })
+    });
+    group.finish();
+}
+
+fn bench_resource_view(c: &mut Criterion) {
+    let mut resources = SchedResources::mesh(&[4; 16]);
+    for node in 0..16 {
+        for _ in 0..4 {
+            resources.cpu(node).reserve(0, 1_000 + node as u64);
+        }
+    }
+    for a in 0..16 {
+        for b in (a + 1)..16 {
+            resources.link_between(a, b).reserve(0, 500);
+        }
+    }
+    let mut group = c.benchmark_group("resource_view");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("view_alloc", |b| {
+        b.iter(|| black_box(resources.view(750)).total_backlog_ns())
+    });
+    group.bench_function("view_into_scratch", |b| {
+        let mut scratch = ResourceView::default();
+        b.iter(|| {
+            resources.view_into(750, &mut scratch);
+            black_box(&scratch).total_backlog_ns()
+        })
+    });
+    group.finish();
+}
+
+fn bench_payload_clone(c: &mut Criterion) {
+    let size = 1_000_000usize;
+    let payload = Payload::synthetic(PayloadKind::Text, 7, size);
+    let flat = payload.flat().clone();
+    let mut group = c.benchmark_group("payload_clone");
+    group.throughput(Throughput::BytesDecimal(size as u64));
+    // The engine's per-edge handoff: a reference-counted handle clone.
+    group.bench_function("bytes_handle", |b| b.iter(|| black_box(flat.clone()).len()));
+    // The full structured payload (value + flat) — what a baseline's
+    // opaque wrapping touches.
+    group.bench_function("structured", |b| b.iter(|| black_box(payload.clone()).flat().len()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_timeline_reserve,
+    bench_event_queue,
+    bench_resource_view,
+    bench_payload_clone,
+);
+criterion_main!(benches);

@@ -26,7 +26,7 @@
 //! (every payload byte still moves), then replays those durations onto the
 //! timelines to find the overlapped completion time.
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use crate::testbed::Testbed;
@@ -39,6 +39,14 @@ use crate::Nanos;
 /// no earlier than the caller's ready time — contention shows up as the
 /// granted start sliding past it.
 ///
+/// Lanes are kept as a min-heap of free times with a cached maximum, so
+/// [`reserve`](Self::reserve) is O(log c) and the aggregate reads the
+/// control loop hammers on every event — [`free_at`](Self::free_at),
+/// [`busy_until`](Self::busy_until), [`backlog_at`](Self::backlog_at) —
+/// are O(1) instead of O(c) lane scans. Lanes are homogeneous, so popping
+/// *any* earliest-free lane grants the same start the old linear scan
+/// did: schedules are unchanged.
+///
 /// ```
 /// # use roadrunner_vkernel::sched::Timeline;
 /// let mut link = Timeline::new("wan", 1);
@@ -48,8 +56,12 @@ use crate::Nanos;
 #[derive(Debug, Clone)]
 pub struct Timeline {
     label: String,
-    lanes: Vec<Nanos>,
+    /// Lane free times, earliest on top.
+    lanes: BinaryHeap<Reverse<Nanos>>,
     reserved: Nanos,
+    /// Cached `max` over lane free times. Lanes only move forward, so the
+    /// maximum is maintained incrementally.
+    latest: Nanos,
 }
 
 impl Timeline {
@@ -60,7 +72,12 @@ impl Timeline {
     /// Panics if `capacity` is zero.
     pub fn new(label: impl Into<String>, capacity: usize) -> Self {
         assert!(capacity > 0, "a resource needs at least one lane");
-        Self { label: label.into(), lanes: vec![0; capacity], reserved: 0 }
+        Self {
+            label: label.into(),
+            lanes: (0..capacity).map(|_| Reverse(0)).collect(),
+            reserved: 0,
+            latest: 0,
+        }
     }
 
     /// The resource's label (for reports and panics).
@@ -82,15 +99,11 @@ impl Timeline {
         }
         // Greedy list scheduling: the earliest-free lane yields the
         // earliest feasible start (lanes are homogeneous).
-        let lane = self
-            .lanes
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, free)| **free)
-            .map(|(i, _)| i)
-            .expect("capacity checked at construction");
-        let start = self.lanes[lane].max(earliest);
-        self.lanes[lane] = start + duration;
+        let Reverse(free) = self.lanes.pop().expect("capacity checked at construction");
+        let start = free.max(earliest);
+        let until = start + duration;
+        self.lanes.push(Reverse(until));
+        self.latest = self.latest.max(until);
         self.reserved += duration;
         start
     }
@@ -102,30 +115,33 @@ impl Timeline {
         self.reserved
     }
 
-    /// Earliest time any lane is free.
+    /// Earliest time any lane is free. O(1): the heap top.
     ///
     /// Monotone under reservations: no `reserve` call ever moves a
     /// lane's free time backwards, so successive `free_at` readings are
     /// non-decreasing (property-tested in `tests/sched_properties.rs`).
     pub fn free_at(&self) -> Nanos {
-        self.lanes.iter().copied().min().unwrap_or(0)
+        self.lanes.peek().map(|&Reverse(t)| t).unwrap_or(0)
     }
 
     /// Work queued beyond `now`: how long the busiest lane still has to
-    /// drain. Zero for an idle (or already-drained) resource.
+    /// drain. Zero for an idle (or already-drained) resource. O(1).
     pub fn backlog_at(&self, now: Nanos) -> Nanos {
-        self.busy_until().saturating_sub(now)
+        self.latest.saturating_sub(now)
     }
 
-    /// Time the last reservation drains.
+    /// Time the last reservation drains. O(1): the cached maximum.
     pub fn busy_until(&self) -> Nanos {
-        self.lanes.iter().copied().max().unwrap_or(0)
+        self.latest
     }
 
     /// Clears all reservations.
     pub fn reset(&mut self) {
-        self.lanes.fill(0);
+        let capacity = self.lanes.len();
+        self.lanes.clear();
+        self.lanes.extend((0..capacity).map(|_| Reverse(0)));
         self.reserved = 0;
+        self.latest = 0;
     }
 }
 
@@ -257,8 +273,11 @@ pub struct NodeView {
 /// Building a view copies O(nodes + links) scalars; no timeline is
 /// cloned. The snapshot is taken *before* the observed instance reserves
 /// anything, so a policy routing on it sees exactly the load every
-/// earlier admission created.
-#[derive(Debug, Clone, PartialEq)]
+/// earlier admission created. Steady-state observers (the load engine,
+/// the autoscaler) refresh one scratch view in place through
+/// [`SchedResources::view_into`], so per-event snapshots allocate nothing
+/// once the scratch buffers have grown to the cluster size.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResourceView {
     now: Nanos,
     nodes: Vec<NodeView>,
@@ -453,38 +472,49 @@ impl SchedResources {
 
     /// Snapshots the live state of every node and link at instant `now` —
     /// the observation side of the elastic control loop. O(nodes + links)
-    /// scalar reads; nothing is cloned or locked.
+    /// scalar reads; nothing is cloned or locked. Allocates fresh view
+    /// buffers; steady-state observers should reuse a scratch view via
+    /// [`view_into`](Self::view_into) instead.
     pub fn view(&self, now: Nanos) -> ResourceView {
-        let nodes = self
-            .cpus
-            .iter()
-            .map(|cpu| {
-                let reserved = cpu.reserved_ns();
-                let lanes = cpu.capacity() as u64;
-                NodeView {
-                    cores: cpu.capacity() as u32,
-                    free_at: cpu.free_at(),
-                    backlog_ns: cpu.backlog_at(now),
-                    reserved_ns: reserved,
-                    utilization: if now == 0 {
-                        0.0
-                    } else {
-                        reserved as f64 / (lanes * now) as f64
-                    },
-                }
-            })
-            .collect();
-        let (link_backlogs, meshed) = match &self.mesh {
-            Some(links) => (links.iter().map(|l| l.backlog_at(now)).collect(), true),
-            None => (Vec::new(), false),
-        };
-        ResourceView {
-            now,
-            nodes,
-            link_backlogs,
-            wan_backlog: self.wan.backlog_at(now),
-            meshed,
+        let mut out = ResourceView::default();
+        self.view_into(now, &mut out);
+        out
+    }
+
+    /// [`view`](Self::view), refreshing `out` in place. The scratch
+    /// view's node and link buffers are reused, so once they have grown
+    /// to the cluster size a snapshot allocates nothing — the per-event
+    /// observation path of the load engine and the autoscaler is
+    /// allocation-free in steady state.
+    pub fn view_into(&self, now: Nanos, out: &mut ResourceView) {
+        out.now = now;
+        out.nodes.clear();
+        out.nodes.extend(self.cpus.iter().map(|cpu| {
+            let reserved = cpu.reserved_ns();
+            let lanes = cpu.capacity() as u64;
+            NodeView {
+                cores: cpu.capacity() as u32,
+                free_at: cpu.free_at(),
+                backlog_ns: cpu.backlog_at(now),
+                reserved_ns: reserved,
+                utilization: if now == 0 {
+                    0.0
+                } else {
+                    reserved as f64 / (lanes * now) as f64
+                },
+            }
+        }));
+        out.link_backlogs.clear();
+        match &self.mesh {
+            Some(links) => {
+                out.link_backlogs.extend(links.iter().map(|l| l.backlog_at(now)));
+                out.meshed = true;
+            }
+            None => {
+                out.meshed = false;
+            }
         }
+        out.wan_backlog = self.wan.backlog_at(now);
     }
 
     /// Total active core lanes (Σ per-node capacities) — the cheap
@@ -824,6 +854,26 @@ mod tests {
         assert_eq!(view.mean_backlog_ns(), 250);
         // A snapshot at time 0 reports zero utilization, not NaN.
         assert_eq!(res.view(0).node(0).utilization, 0.0);
+    }
+
+    #[test]
+    fn view_into_refreshes_scratch_in_place() {
+        let mut res = SchedResources::mesh(&[2, 4]);
+        res.cpu(0).reserve(0, 600);
+        let mut scratch = ResourceView::default();
+        res.view_into(500, &mut scratch);
+        assert_eq!(scratch, res.view(500));
+        // Refreshing after more load (and a resize) overwrites, never
+        // appends.
+        res.cpu(1).reserve(0, 1_000);
+        res.add_node(2);
+        res.view_into(800, &mut scratch);
+        assert_eq!(scratch, res.view(800));
+        assert_eq!(scratch.node_count(), 3);
+        res.remove_last_node();
+        res.view_into(900, &mut scratch);
+        assert_eq!(scratch, res.view(900));
+        assert_eq!(scratch.node_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Property-based proof that the transfer-cost memo is observation-
+//! equivalent: over arbitrary DAGs, payload kinds and placements, a
+//! [`MemoizedPlane`]-wrapped plane must produce **identical**
+//! `TransferTiming` attributions and payload bytes to the unmemoized
+//! plane — across repeated instances, where every transfer after the
+//! first is a cache replay.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use roadrunner_baselines::{RuncPair, WasmedgePair};
+use roadrunner_platform::{
+    execute_concurrent, DataPlane, MemoizedPlane, PlatformError, TransferTiming, WorkflowDag,
+    WorkflowRun, WorkflowSpec,
+};
+use roadrunner_serial::payload::{Payload, PayloadKind};
+use roadrunner_vkernel::{SchedResources, Testbed, VirtualClock};
+
+/// Splitmix-style generator so graph shapes derive deterministically from
+/// the proptest-provided seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Builds a random *forward* DAG of `n` nodes (connected and acyclic by
+/// construction), plus up to `extra` additional forward edges.
+fn forward_dag(n: usize, extra: usize, seed: u64) -> WorkflowDag {
+    let mut rng = Mix(seed);
+    let mut dag = WorkflowDag::new();
+    let name = |i: usize| format!("f{i}");
+    let mut present: HashSet<(usize, usize)> = HashSet::new();
+    for j in 1..n {
+        let i = rng.below(j as u64) as usize;
+        dag.add_edge(name(i), name(j));
+        present.insert((i, j));
+    }
+    for _ in 0..extra {
+        let j = 1 + rng.below((n - 1) as u64) as usize;
+        let i = rng.below(j as u64) as usize;
+        if present.insert((i, j)) {
+            dag.add_edge(name(i), name(j));
+        }
+    }
+    dag
+}
+
+/// A deterministic plane whose timing and received bytes both depend on
+/// the edge endpoints, the placement, and the payload content — so any
+/// keying mistake in the memo shows up as a mismatched replay.
+struct KeyedPlane {
+    clock: VirtualClock,
+    placements: Vec<usize>,
+}
+
+impl KeyedPlane {
+    fn key(&self, from: &str, to: &str, payload: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(from.as_bytes());
+        eat(to.as_bytes());
+        eat(&(self.placement(from).unwrap_or(0) as u64).to_le_bytes());
+        eat(&(self.placement(to).unwrap_or(0) as u64).to_le_bytes());
+        eat(payload);
+        h
+    }
+}
+
+impl DataPlane for KeyedPlane {
+    fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
+        self.transfer_detailed(from, to, payload).map(|(received, _)| received)
+    }
+
+    fn transfer_detailed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        let key = self.key(from, to, &payload);
+        let timing = TransferTiming {
+            prepare_ns: 100 + key % 400,
+            transfer_ns: 1_000 + payload.len() as u64 + key % 1_000,
+            consume_ns: 50 + key % 200,
+        };
+        self.clock.advance(timing.total_ns());
+        let received: Vec<u8> =
+            payload.iter().map(|b| b.wrapping_add((key & 0xFF) as u8)).collect();
+        Ok((Bytes::from(received), Some(timing)))
+    }
+
+    fn placement(&self, function: &str) -> Option<usize> {
+        // `fN` names index the placement table.
+        let idx: usize = function[1..].parse().ok()?;
+        self.placements.get(idx).copied()
+    }
+}
+
+/// Edge-by-edge equality of what the plane produced: bytes, sizes and
+/// per-phase latency attribution.
+fn assert_runs_equal(plain: &WorkflowRun, memoized: &WorkflowRun) -> Result<(), TestCaseError> {
+    prop_assert_eq!(plain.edges.len(), memoized.edges.len());
+    for (a, b) in plain.edges.iter().zip(&memoized.edges) {
+        prop_assert_eq!(&a.from, &b.from);
+        prop_assert_eq!(&a.to, &b.to);
+        prop_assert_eq!(a.bytes, b.bytes);
+        prop_assert_eq!(a.latency_ns, b.latency_ns);
+        prop_assert_eq!(a.start_ns, b.start_ns);
+        prop_assert_eq!(a.finish_ns, b.finish_ns);
+        prop_assert_eq!(a.checksum(), b.checksum());
+        prop_assert_eq!(&a.received[..], &b.received[..]);
+    }
+    prop_assert_eq!(plain.total_latency_ns, memoized.total_latency_ns);
+    Ok(())
+}
+
+use proptest::test_runner::TestCaseError;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary DAGs × arbitrary placements × arbitrary payload bytes on
+    /// the synthetic keyed plane: every instance of the memoized run
+    /// (including the fully-replayed later ones) matches the unmemoized
+    /// plane edge for edge.
+    #[test]
+    fn memoized_keyed_plane_matches_unmemoized(
+        n in 2usize..9,
+        extra in 0usize..6,
+        seed in any::<u64>(),
+        payload_len in 1usize..4_000,
+        nodes in 1usize..4,
+    ) {
+        let dag = forward_dag(n, extra, seed);
+        let spec = WorkflowSpec::from_dag("memo-prop", "t", dag);
+        let placements: Vec<usize> =
+            (0..n).map(|i| (seed as usize).wrapping_add(i * 7) % nodes).collect();
+        let payload = Bytes::from(vec![(seed & 0xFF) as u8; payload_len]);
+
+        let clock = VirtualClock::new();
+        let mut plain_plane = KeyedPlane { clock: clock.clone(), placements: placements.clone() };
+        let mut resources = SchedResources::new(nodes, 4);
+        let plain = execute_concurrent(
+            &mut plain_plane, &clock, &spec, payload.clone(), &mut resources,
+        ).unwrap();
+
+        let clock = VirtualClock::new();
+        let mut inner = KeyedPlane { clock: clock.clone(), placements };
+        let mut memo = MemoizedPlane::new(&mut inner, clock.clone());
+        for round in 0..3 {
+            let mut resources = SchedResources::new(nodes, 4);
+            let memoized = execute_concurrent(
+                &mut memo, &clock, &spec, payload.clone(), &mut resources,
+            ).unwrap();
+            assert_runs_equal(&plain, &memoized)?;
+            if round > 0 {
+                prop_assert!(memo.hits() > 0, "later instances must replay from the memo");
+            }
+        }
+        prop_assert_eq!(memo.bypasses(), 0);
+        prop_assert_eq!(memo.len() as u64, memo.misses());
+    }
+
+    /// Real baseline planes (the serialize → HTTP → deserialize paths)
+    /// over every payload kind: timing attribution and received bytes are
+    /// identical with the memo, instance after instance.
+    #[test]
+    fn memoized_baselines_match_unmemoized(
+        kind_pick in 0usize..3,
+        seed in any::<u64>(),
+        payload_len in 64usize..40_000,
+        cross_node in any::<bool>(),
+        runc in any::<bool>(),
+    ) {
+        let kind = [PayloadKind::Text, PayloadKind::SensorRecords, PayloadKind::ImageFrame]
+            [kind_pick];
+        let payload = Payload::synthetic(kind, seed, payload_len);
+        let flat = payload.flat().clone();
+        let spec = WorkflowSpec::sequence(
+            "memo-baseline",
+            "t",
+            ["f0".to_owned(), "f1".to_owned(), "f2".to_owned()],
+        );
+        let peer = usize::from(cross_node);
+        let build = |bed: &Arc<Testbed>| -> Box<dyn DataPlane> {
+            if runc {
+                Box::new(RuncPair::establish(Arc::clone(bed), 0, peer))
+            } else {
+                Box::new(WasmedgePair::establish(Arc::clone(bed), 0, peer))
+            }
+        };
+
+        // Unmemoized reference. The first post-establish instance pays
+        // one-off effects (guest heap growth); the benches always warm a
+        // plane before measuring, and the memo's soundness contract is
+        // cyclicity *after* warm-up — so both sides here warm with one
+        // discarded unmemoized run first.
+        let bed = Arc::new(Testbed::paper());
+        let mut plane = build(&bed);
+        let clock = bed.clock().clone();
+        let mut resources = SchedResources::new(2, 4);
+        execute_concurrent(plane.as_mut(), &clock, &spec, flat.clone(), &mut resources)
+            .unwrap();
+        let mut resources = SchedResources::new(2, 4);
+        let plain = execute_concurrent(
+            plane.as_mut(), &clock, &spec, flat.clone(), &mut resources,
+        ).unwrap();
+        let mut resources = SchedResources::new(2, 4);
+        let plain_again = execute_concurrent(
+            plane.as_mut(), &clock, &spec, flat.clone(), &mut resources,
+        ).unwrap();
+        // Warmed baselines are instance-cyclic: the property the memo
+        // (and fig13's determinism assert) relies on.
+        assert_runs_equal(&plain, &plain_again)?;
+
+        let bed = Arc::new(Testbed::paper());
+        let mut plane = build(&bed);
+        let clock = bed.clock().clone();
+        let mut resources = SchedResources::new(2, 4);
+        execute_concurrent(plane.as_mut(), &clock, &spec, flat.clone(), &mut resources)
+            .unwrap();
+        let mut memo = MemoizedPlane::new(plane.as_mut(), clock.clone());
+        let mut resources = SchedResources::new(2, 4);
+        let first = execute_concurrent(
+            &mut memo, &clock, &spec, flat.clone(), &mut resources,
+        ).unwrap();
+        assert_runs_equal(&plain, &first)?;
+        let mut resources = SchedResources::new(2, 4);
+        let replayed = execute_concurrent(
+            &mut memo, &clock, &spec, flat.clone(), &mut resources,
+        ).unwrap();
+        assert_runs_equal(&plain, &replayed)?;
+        prop_assert!(memo.hits() >= spec.dag.edge_count() as u64);
+        prop_assert_eq!(memo.bypasses(), 0);
+    }
+}
