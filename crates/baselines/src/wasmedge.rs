@@ -13,7 +13,7 @@
 //! / [`wasi_receiver`](roadrunner::guest::wasi_receiver)); their chunk
 //! loops execute instruction by instruction. One documented substitution:
 //! the serialization *bytes* are produced by the host-side codec while
-//! the *cost* is charged at the calibrated in-VM rate (DESIGN.md §5) —
+//! the *cost* is charged at the calibrated in-VM rate (DESIGN.md §6) —
 //! writing a full text encoder in raw Wasm instructions would change no
 //! measured quantity.
 

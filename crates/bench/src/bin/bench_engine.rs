@@ -13,7 +13,14 @@
 //! * `open_loop` — a fig12-style [`OpenLoop`] sweep onto shared
 //!   resources;
 //! * `closed_loop` — a fig13-style [`ClosedLoop`] with the backlog
-//!   autoscaler in the loop.
+//!   autoscaler in the loop;
+//! * `parallel` — a multi-seed grid of independent open-loop jobs run
+//!   serially vs on the `platform::sweep` worker pool (4 workers),
+//!   recording threads, speedup and scaling efficiency. Results are
+//!   asserted identical between the two orders; on a host with ≥ 4
+//!   cores the pool must deliver **≥ 2×** wall-clock speedup — the
+//!   scale-across-cores gate (skipped, but still measured and
+//!   recorded, on smaller hosts).
 //!
 //! Each scenario is measured twice **in the same run**. For `serial`
 //! and `concurrent` the baseline is the legacy per-call entry points
@@ -44,7 +51,9 @@ use roadrunner_platform::{
     AutoscalerConfig, ClosedLoop, CompiledWorkflow, DataPlane, FunctionBundle, LoadRun,
     MemoizedPlane, OpenLoop, WorkflowSpec,
 };
-use roadrunner_platform::{ArrivalProcess, LocalityFirst, PackThenSpill};
+use roadrunner_platform::{
+    available_workers, run_jobs, ArrivalProcess, LocalityFirst, PackThenSpill, SweepMode,
+};
 use roadrunner_vkernel::{ClusterSpec, Nanos, SchedResources, Testbed};
 use roadrunner_wasm::encode;
 
@@ -338,7 +347,82 @@ fn main() {
          (measured {closed_speedup:.2}x)"
     );
 
-    let rows: Vec<String> = scenarios.iter().map(Scenario::json).collect();
+    let mut rows: Vec<String> = scenarios.iter().map(Scenario::json).collect();
+
+    // --- parallel sweep (independent seeded jobs over the pool) ------
+    let (parallel_speedup, parallel_row) = {
+        let threads = 4;
+        let cores = available_workers();
+        let jobs: Vec<u64> = (1..=if quick { 8 } else { 12 }).collect();
+        let job_n = if quick { 16 } else { 32 };
+        // Each job is fully self-contained — its own testbed, plane,
+        // clock and resources — exactly the shape the fig12/fig13
+        // sweeps fan out, so serial vs pooled execution of the *same*
+        // job list isolates the worker pool's wall-clock effect.
+        let run_one = |seed: u64| {
+            let bed = cluster();
+            let clock = bed.clock().clone();
+            let mut plane = roadrunner_plane(&bed);
+            execute(&mut plane, &clock, &spec(), payload.clone()).expect("job warmup");
+            let mut memo = MemoizedPlane::new(&mut plane, clock.clone());
+            let load = OpenLoop {
+                spec: spec(),
+                payload: payload.clone(),
+                arrivals: ArrivalProcess::Poisson {
+                    mean_interval_ns: (solo_ns / 2).max(1),
+                    seed,
+                },
+                instances: job_n,
+                cold_start_ns: None,
+            };
+            let mut policy = LocalityFirst::new();
+            let mut resources = SchedResources::mesh(&[CORES; NODES]);
+            load.run(&mut memo, &clock, &mut resources, &mut policy).expect("parallel job")
+        };
+        let total = jobs.len() * job_n;
+        let mut serial_runs = Vec::new();
+        let baseline = timed(total, edges + 2, || {
+            serial_runs = run_jobs(&jobs, SweepMode::Serial, |&seed| run_one(seed));
+        });
+        let mut pooled_runs = Vec::new();
+        let optimized = timed(total, edges + 2, || {
+            pooled_runs =
+                run_jobs(&jobs, SweepMode::Parallel { workers: threads }, |&seed| run_one(seed));
+        });
+        let serial_sigs: Vec<_> = serial_runs.iter().map(signature).collect();
+        let pooled_sigs: Vec<_> = pooled_runs.iter().map(signature).collect();
+        assert_eq!(
+            serial_sigs, pooled_sigs,
+            "parallel: pooled virtual-time outputs must be identical to serial"
+        );
+        let scenario = Scenario { name: "parallel", baseline, optimized };
+        let speedup = scenario.speedup();
+        // Scaling efficiency normalizes by the workers that can actually
+        // run concurrently on this host.
+        let efficiency = speedup / threads.min(cores) as f64;
+        if cores >= threads {
+            assert!(
+                speedup >= 2.0,
+                "scale-out gate: {threads}-worker sweep must run >= 2x instances/sec \
+                 on a {cores}-core host (measured {speedup:.2}x)"
+            );
+        }
+        let row = format!(
+            concat!(
+                "    {{\"scenario\": \"parallel\", \"baseline\": {}, \"optimized\": {}, ",
+                "\"speedup\": {:.2}, \"threads\": {}, \"cores_available\": {}, ",
+                "\"scaling_efficiency\": {:.2}}}"
+            ),
+            scenario.baseline.json(),
+            scenario.optimized.json(),
+            speedup,
+            threads,
+            cores,
+            efficiency,
+        );
+        (speedup, row)
+    };
+    rows.push(parallel_row);
     let json = format!(
         concat!(
             "{{\n",
@@ -348,6 +432,7 @@ fn main() {
             "  \"workflow\": \"src -> relay -> sink\",\n",
             "  \"payload_mb\": {:.1},\n",
             "  \"closed_loop_speedup\": {:.2},\n",
+            "  \"parallel_speedup\": {:.2},\n",
             "  \"scenarios\": [\n{}\n  ]\n",
             "}}"
         ),
@@ -356,6 +441,7 @@ fn main() {
         CORES,
         payload_bytes as f64 / MB as f64,
         closed_speedup,
+        parallel_speedup,
         rows.join(",\n"),
     );
     std::fs::write("BENCH_engine.json", format!("{json}\n")).expect("write BENCH_engine.json");

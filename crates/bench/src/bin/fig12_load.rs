@@ -16,281 +16,28 @@
 //!   node (Roadrunner rides its kernel-space mode), `spread` spreads
 //!   functions over the cluster (every edge becomes a network
 //!   transfer);
+//! * **arrival seed** — each cell replicated under several Poisson
+//!   arrival sequences; rows report across-seed means with
+//!   order-statistic confidence intervals;
 //!
-//! for Roadrunner and both baselines. Every instance really runs on the
-//! plane (payload bytes move, CPU accounts charge); the load generator
-//! schedules each instance's phases onto shared per-node core timelines
-//! and per-pair links, so co-scheduled instances contend in virtual
-//! time. Emits one machine-readable JSON document with p50/p95/p99
-//! sojourn, achieved vs offered throughput, and core/link utilization,
-//! and asserts the headline invariants:
+//! for Roadrunner and both baselines. Grid points fan out over the
+//! `platform::sweep` worker pool (`--serial` keeps the in-order
+//! reference loop, `--workers N` sizes the pool); output is
+//! byte-identical either way — the gate CI enforces. The experiment
+//! logic lives in `roadrunner_bench::fig12`.
 //!
-//! * under identical arrival rate and policy, Roadrunner sustains
-//!   strictly higher throughput and strictly lower p95 than WasmEdge;
-//! * contention never speeds an instance up: every sojourn ≥ the
-//!   system's uncontended concurrent makespan.
-//!
-//! Run: `cargo run -p roadrunner-bench --release --bin fig12_load [--quick]`
+//! Run: `cargo run -p roadrunner-bench --release --bin fig12_load
+//! [--quick] [--serial] [--workers N] [--no-memo]`
 
-use std::sync::Arc;
-
-use bytes::Bytes;
-use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
-use roadrunner_baselines::{RuncPair, WasmedgePair};
-use roadrunner_bench::{flag, quick_flag, MB};
-use roadrunner_platform::{
-    execute, execute_concurrent, ArrivalProcess, DataPlane, FunctionBundle, LocalityFirst,
-    MemoizedPlane, OpenLoop, PlacementPolicy, SpreadLoad, WorkflowSpec,
-};
-use roadrunner_vkernel::{secs, ClusterSpec, Nanos, SchedResources, Testbed};
-use roadrunner_wasm::encode;
-
-const NODES: usize = 4;
-
-fn cluster() -> Arc<Testbed> {
-    Arc::new(ClusterSpec::homogeneous(NODES, 4, 8 << 30).build())
-}
-
-fn spec() -> WorkflowSpec {
-    WorkflowSpec::sequence(
-        "pipeline",
-        "bench",
-        ["src".to_owned(), "relay".to_owned(), "sink".to_owned()],
-    )
-}
-
-fn rr_bundle(name: &str, module: roadrunner_wasm::Module) -> Arc<FunctionBundle> {
-    Arc::new(
-        FunctionBundle::wasm(name, encode::encode(&module))
-            .with_workflow("fig12")
-            .with_tenant("bench"),
-    )
-}
-
-/// Deploys the Roadrunner pipeline, colocated on node 0 (`locality`
-/// regime: kernel-space edges) or spread over nodes 0/1/2 (`spread`
-/// regime: network edges).
-fn roadrunner_plane(bed: &Arc<Testbed>, colocated: bool) -> RoadrunnerPlane {
-    let mut plane =
-        RoadrunnerPlane::new(Arc::clone(bed), ShimConfig::default().with_load_costs(false));
-    let nodes: [usize; 3] = if colocated { [0, 0, 0] } else { [0, 1, 2] };
-    plane
-        .deploy(nodes[0], "src", rr_bundle("src", guest::producer()), "produce", false)
-        .expect("deploy src");
-    plane
-        .deploy(nodes[1], "relay", rr_bundle("relay", guest::relay()), "relay", false)
-        .expect("deploy relay");
-    plane
-        .deploy(nodes[2], "sink", rr_bundle("sink", guest::consumer()), "consume", true)
-        .expect("deploy sink");
-    plane
-}
-
-struct SystemUnderLoad {
-    label: &'static str,
-    plane: Box<dyn DataPlane>,
-}
-
-/// The three systems, each deployed for one co-location regime. Pairs
-/// carry every edge of the pipeline over their established connection.
-fn systems(bed: &Arc<Testbed>, colocated: bool) -> Vec<SystemUnderLoad> {
-    let peer = usize::from(!colocated);
-    vec![
-        SystemUnderLoad { label: "roadrunner", plane: Box::new(roadrunner_plane(bed, colocated)) },
-        SystemUnderLoad {
-            label: "runc",
-            plane: Box::new(RuncPair::establish(Arc::clone(bed), 0, peer)),
-        },
-        SystemUnderLoad {
-            label: "wasmedge",
-            plane: Box::new(WasmedgePair::establish(Arc::clone(bed), 0, peer)),
-        },
-    ]
-}
-
-struct Cell {
-    system: &'static str,
-    policy: &'static str,
-    payload_bytes: usize,
-    interval_ns: Nanos,
-    uncontended_ns: Nanos,
-    offered_rps: f64,
-    achieved_rps: f64,
-    p50_ns: Nanos,
-    p95_ns: Nanos,
-    p99_ns: Nanos,
-    max_ns: Nanos,
-    cpu_utilization: f64,
-    link_utilization: f64,
-    instances: usize,
-}
-
-impl Cell {
-    fn json(&self) -> String {
-        format!(
-            concat!(
-                "    {{\"system\": \"{}\", \"policy\": \"{}\", \"payload_mb\": {:.1}, ",
-                "\"interval_s\": {:.6}, \"uncontended_s\": {:.6}, ",
-                "\"offered_rps\": {:.3}, \"achieved_rps\": {:.3}, ",
-                "\"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}, \"max_s\": {:.6}, ",
-                "\"cpu_util\": {:.4}, \"link_util\": {:.4}, \"instances\": {}}}"
-            ),
-            self.system,
-            self.policy,
-            self.payload_bytes as f64 / MB as f64,
-            secs(self.interval_ns),
-            secs(self.uncontended_ns),
-            self.offered_rps,
-            self.achieved_rps,
-            secs(self.p50_ns),
-            secs(self.p95_ns),
-            secs(self.p99_ns),
-            secs(self.max_ns),
-            self.cpu_utilization,
-            self.link_utilization,
-            self.instances,
-        )
-    }
-}
-
-fn policy_of(name: &str) -> Box<dyn PlacementPolicy> {
-    match name {
-        "locality" => Box::new(LocalityFirst::new()),
-        _ => Box::new(SpreadLoad::new()),
-    }
-}
-
-/// Uncontended concurrent makespan of one instance on a fresh, empty
-/// cluster — the lower bound no instance under load may beat. The plane
-/// is warmed first (one discarded serial run) so lazy connection
-/// establishment is excluded from every measured comparison.
-fn uncontended(plane: &mut dyn DataPlane, bed: &Arc<Testbed>, payload: &Bytes) -> Nanos {
-    let clock = bed.clock().clone();
-    let workflow = spec();
-    execute(plane, &clock, &workflow, payload.clone()).expect("warmup run");
-    let mut fresh = SchedResources::for_testbed(bed);
-    execute_concurrent(plane, &clock, &workflow, payload.clone(), &mut fresh)
-        .expect("uncontended run")
-        .total_latency_ns
-}
+use roadrunner_bench::fig12::{fig12_json, Fig12Options};
+use roadrunner_bench::{flag, quick_flag, sweep_mode_flag};
 
 fn main() {
-    let quick = quick_flag();
-    let no_memo = flag("--no-memo");
-    let payloads: Vec<usize> =
-        if quick { vec![MB, 4 * MB] } else { vec![MB, 10 * MB, 30 * MB] };
-    let instances = if quick { 8 } else { 16 };
-    // Arrival interval = factor × the WasmEdge uncontended makespan:
-    // identical offered rate for every system in a cell. The cluster
-    // absorbs NODES instances in parallel (and each 4-core node up to 4
-    // co-scheduled instances), so the rates probe three regimes:
-    // "light" (2×) leaves every system uncongested, "heavy" (0.15 <
-    // 1/NODES) saturates the per-pair links under the spread policy, and
-    // "surge" (0.03 < 1/(NODES×cores)) drives the slowest system past
-    // even the locality regime's core capacity.
-    let rate_factors: [(&str, f64); 3] = [("light", 2.0), ("heavy", 0.15), ("surge", 0.03)];
-
-    let mut rows = Vec::new();
-    for policy_name in ["locality", "spread"] {
-        let colocated = policy_name == "locality";
-        for &payload_bytes in &payloads {
-            let payload = Bytes::from(vec![0xA7u8; payload_bytes]);
-            let bed = cluster();
-            let mut under_load = systems(&bed, colocated);
-            let baselines_uncontended: Vec<(usize, Nanos)> = under_load
-                .iter_mut()
-                .enumerate()
-                .map(|(i, s)| (i, uncontended(s.plane.as_mut(), &bed, &payload)))
-                .collect();
-            let wasmedge_solo = baselines_uncontended
-                .iter()
-                .find(|(i, _)| under_load[*i].label == "wasmedge")
-                .map(|&(_, ns)| ns)
-                .expect("wasmedge is part of the line-up");
-
-            for (rate_label, factor) in rate_factors {
-                let interval_ns = (wasmedge_solo as f64 * factor).round() as Nanos;
-                let mut cells: Vec<Cell> = Vec::new();
-                for (i, system) in under_load.iter_mut().enumerate() {
-                    let solo = baselines_uncontended[i].1;
-                    let mut policy = policy_of(policy_name);
-                    let mut resources = SchedResources::for_testbed(&bed);
-                    let load = OpenLoop {
-                        spec: spec(),
-                        payload: payload.clone(),
-                        arrivals: ArrivalProcess::Uniform { interval_ns },
-                        instances,
-                        cold_start_ns: None,
-                    };
-                    // The load sweep admits identical instances: the
-                    // transfer-cost memo computes each distinct edge once
-                    // and replays it. Virtual-time results are
-                    // byte-identical; `--no-memo` produces the unmemoized
-                    // reference run the CI gate diffs this JSON against.
-                    let clock = bed.clock().clone();
-                    let run = if no_memo {
-                        load.run(system.plane.as_mut(), &clock, &mut resources, policy.as_mut())
-                    } else {
-                        let mut memo = MemoizedPlane::new(system.plane.as_mut(), clock.clone());
-                        load.run(&mut memo, &clock, &mut resources, policy.as_mut())
-                    }
-                    .expect("load run");
-                    for outcome in &run.outcomes {
-                        assert!(
-                            outcome.sojourn_ns >= solo,
-                            "{} {} {}B {rate_label}: instance {} took {} < uncontended {}",
-                            system.label,
-                            policy_name,
-                            payload_bytes,
-                            outcome.instance,
-                            outcome.sojourn_ns,
-                            solo,
-                        );
-                    }
-                    let digest = run.sojourn_percentiles().expect("non-empty run");
-                    cells.push(Cell {
-                        system: system.label,
-                        policy: policy_name,
-                        payload_bytes,
-                        interval_ns,
-                        uncontended_ns: solo,
-                        offered_rps: run.offered_rps,
-                        achieved_rps: run.throughput_rps(),
-                        p50_ns: digest.p50_ns,
-                        p95_ns: digest.p95_ns,
-                        p99_ns: digest.p99_ns,
-                        max_ns: digest.max_ns,
-                        cpu_utilization: run.cpu_utilization,
-                        link_utilization: run.link_utilization,
-                        instances,
-                    });
-                }
-                let rr = cells.iter().find(|c| c.system == "roadrunner").unwrap();
-                let we = cells.iter().find(|c| c.system == "wasmedge").unwrap();
-                assert!(
-                    rr.achieved_rps > we.achieved_rps,
-                    "{policy_name} {payload_bytes}B {rate_label}: roadrunner {} rps !> wasmedge {} rps",
-                    rr.achieved_rps,
-                    we.achieved_rps,
-                );
-                assert!(
-                    rr.p95_ns < we.p95_ns,
-                    "{policy_name} {payload_bytes}B {rate_label}: roadrunner p95 {} !< wasmedge p95 {}",
-                    rr.p95_ns,
-                    we.p95_ns,
-                );
-                rows.extend(cells.into_iter().map(|c| c.json()));
-            }
-        }
-    }
-
-    println!("{{");
-    println!("  \"figure\": \"fig12_load\",");
-    println!("  \"cluster\": {{\"nodes\": {NODES}, \"cores_per_node\": 4}},");
-    println!("  \"workflow\": \"src -> relay -> sink\",");
-    println!("  \"instances_per_cell\": {instances},");
-    println!("  \"cells\": [");
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    let opts = Fig12Options {
+        quick: quick_flag(),
+        golden: false,
+        memo: !flag("--no-memo"),
+        mode: sweep_mode_flag(),
+    };
+    println!("{}", fig12_json(&opts));
 }

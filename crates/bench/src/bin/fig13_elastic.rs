@@ -26,413 +26,24 @@
 //! unpack+init for containers), connecting the cold-start figures to
 //! the load figures.
 //!
-//! Emits one machine-readable JSON document and asserts the headline
-//! invariants:
+//! Cells fan out over the `platform::sweep` worker pool (`--serial`
+//! keeps the in-order reference loop, `--workers N` sizes the pool);
+//! output is byte-identical either way — the gate CI enforces. The
+//! experiment logic and the headline-invariant assertions live in
+//! `roadrunner_bench::fig13`.
 //!
-//! * under identical users/policy/capacity, Roadrunner's saturation
-//!   throughput is at least WasmEdge's;
-//! * at the highest user count the autoscaler-on run has strictly lower
-//!   p95 sojourn than fixed capacity (asserted for Roadrunner);
-//! * placements are deterministic: re-running a cell reproduces them.
-//!
-//! Run: `cargo run -p roadrunner-bench --release --bin fig13_elastic [--quick]`
+//! Run: `cargo run -p roadrunner-bench --release --bin fig13_elastic
+//! [--quick] [--serial] [--workers N] [--no-memo]`
 
-use std::sync::Arc;
-
-use bytes::Bytes;
-use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
-use roadrunner_baselines::coldstart::{
-    container_cold_ns, wasm_cold_ns, CONTAINER_IMAGE_BYTES, PAPER_WASM_HELLO_BYTES,
-};
-use roadrunner_baselines::{RuncPair, WasmedgePair};
-use roadrunner_bench::{flag, quick_flag, MB};
-use roadrunner_platform::{
-    execute, execute_concurrent, Autoscaler, AutoscalerConfig, ClosedLoop, DataPlane,
-    FunctionBundle, LoadRun, LocalityFirst, MemoizedPlane, PackThenSpill, PlacementPolicy,
-    WorkflowSpec,
-};
-use roadrunner_vkernel::{secs, ClusterSpec, Nanos, SchedResources, Testbed};
-use roadrunner_wasm::encode;
-
-/// Fixed-capacity (and autoscaler-minimum) active node count.
-const START_NODES: usize = 2;
-/// Autoscaler ceiling; the testbed always has this many nodes built.
-const MAX_NODES: usize = 6;
-const CORES: u32 = 4;
-
-fn cluster() -> Arc<Testbed> {
-    Arc::new(ClusterSpec::homogeneous(MAX_NODES, CORES, 8 << 30).build())
-}
-
-fn spec() -> WorkflowSpec {
-    WorkflowSpec::sequence(
-        "pipeline",
-        "bench",
-        ["src".to_owned(), "relay".to_owned(), "sink".to_owned()],
-    )
-}
-
-fn rr_bundle(name: &str, module: roadrunner_wasm::Module) -> Arc<FunctionBundle> {
-    Arc::new(
-        FunctionBundle::wasm(name, encode::encode(&module))
-            .with_workflow("fig13")
-            .with_tenant("bench"),
-    )
-}
-
-/// Deploys the Roadrunner pipeline co-located on node 0 (kernel-space
-/// edges — the regime the packing policies reproduce per instance).
-fn roadrunner_plane(bed: &Arc<Testbed>) -> RoadrunnerPlane {
-    let mut plane =
-        RoadrunnerPlane::new(Arc::clone(bed), ShimConfig::default().with_load_costs(false));
-    plane
-        .deploy(0, "src", rr_bundle("src", guest::producer()), "produce", false)
-        .expect("deploy src");
-    plane
-        .deploy(0, "relay", rr_bundle("relay", guest::relay()), "relay", false)
-        .expect("deploy relay");
-    plane
-        .deploy(0, "sink", rr_bundle("sink", guest::consumer()), "consume", true)
-        .expect("deploy sink");
-    plane
-}
-
-struct SystemUnderLoad {
-    label: &'static str,
-    plane: Box<dyn DataPlane>,
-    /// Uncontended concurrent makespan of one instance (own think-time
-    /// and threshold base).
-    solo_ns: Nanos,
-    /// Fig. 2a-style cold-start cost of one function of this system.
-    cold_ns: Nanos,
-}
-
-/// The three systems, co-located, warmed, with their solo makespans
-/// measured on a fresh two-node mesh.
-fn systems(bed: &Arc<Testbed>, payload: &Bytes) -> Vec<SystemUnderLoad> {
-    let cost = bed.cost();
-    let wasm_cold = wasm_cold_ns(cost, PAPER_WASM_HELLO_BYTES);
-    let runc_cold = container_cold_ns(cost, CONTAINER_IMAGE_BYTES);
-    let mut out = vec![
-        SystemUnderLoad {
-            label: "roadrunner",
-            plane: Box::new(roadrunner_plane(bed)),
-            solo_ns: 0,
-            cold_ns: wasm_cold,
-        },
-        SystemUnderLoad {
-            label: "runc",
-            plane: Box::new(RuncPair::establish(Arc::clone(bed), 0, 0)),
-            solo_ns: 0,
-            cold_ns: runc_cold,
-        },
-        SystemUnderLoad {
-            label: "wasmedge",
-            plane: Box::new(WasmedgePair::establish(Arc::clone(bed), 0, 0)),
-            solo_ns: 0,
-            cold_ns: wasm_cold,
-        },
-    ];
-    for system in &mut out {
-        system.solo_ns = uncontended(system.plane.as_mut(), bed, payload);
-    }
-    out
-}
-
-/// Uncontended concurrent makespan of one instance on a fresh, empty
-/// two-node mesh. The plane is warmed first (one discarded serial run)
-/// so lazy connection establishment is excluded from every measured
-/// comparison.
-fn uncontended(plane: &mut dyn DataPlane, bed: &Arc<Testbed>, payload: &Bytes) -> Nanos {
-    let clock = bed.clock().clone();
-    let workflow = spec();
-    execute(plane, &clock, &workflow, payload.clone()).expect("warmup run");
-    let mut fresh = SchedResources::mesh(&[CORES; START_NODES]);
-    execute_concurrent(plane, &clock, &workflow, payload.clone(), &mut fresh)
-        .expect("uncontended run")
-        .total_latency_ns
-}
-
-fn policy_of(name: &str, solo_ns: Nanos) -> Box<dyn PlacementPolicy> {
-    match name {
-        "locality" => Box::new(LocalityFirst::new()),
-        // Spill once a node queues more than one uncontended makespan.
-        _ => Box::new(PackThenSpill::new(solo_ns)),
-    }
-}
-
-/// One cell's knobs.
-#[derive(Clone, Copy)]
-struct Knobs {
-    users: usize,
-    rounds: usize,
-    autoscaled: bool,
-    cold: bool,
-    /// Wrap the plane in the transfer-cost memo (the default; `--no-memo`
-    /// turns it off to produce the byte-identity reference run).
-    memo: bool,
-}
-
-/// One closed-loop run of `users`×`rounds` instances, optionally
-/// autoscaled and optionally charging cold starts.
-fn run_cell(
-    system: &mut SystemUnderLoad,
-    bed: &Arc<Testbed>,
-    payload: &Bytes,
-    policy_name: &str,
-    knobs: Knobs,
-) -> LoadRun {
-    let Knobs { users, rounds, autoscaled, cold, memo } = knobs;
-    let solo = system.solo_ns;
-    // Think a quarter-makespan between requests and ramp users in a
-    // quarter-makespan apart: at the top user counts demand concurrency
-    // (`users·solo/(solo+think)`) far exceeds the fixed 8 lanes, and the
-    // ramp lets the controller race the building load instead of
-    // measuring an unavoidable thundering herd.
-    let load = ClosedLoop {
-        spec: spec(),
-        payload: payload.clone(),
-        users,
-        think_ns: solo / 4,
-        ramp_ns: solo / 4,
-        instances: users * rounds,
-        cold_start_ns: cold.then_some(system.cold_ns),
-    };
-    let mut policy = policy_of(policy_name, solo);
-    let mut resources = SchedResources::mesh(&[CORES; START_NODES]);
-    let clock = bed.clock().clone();
-    // Identical instances hit the transfer-cost memo after the first;
-    // virtual-time results are byte-identical. The `--no-memo` reference
-    // run is what the CI gate diffs this JSON against.
-    let mut memo_plane;
-    let plane: &mut dyn DataPlane = if memo {
-        memo_plane = MemoizedPlane::new(system.plane.as_mut(), clock.clone());
-        &mut memo_plane
-    } else {
-        system.plane.as_mut()
-    };
-    let run = if autoscaled {
-        let mut scaler = Autoscaler::new(AutoscalerConfig {
-            min_nodes: START_NODES,
-            max_nodes: MAX_NODES,
-            node_cores: CORES,
-            scale_up_backlog_ns: solo / 2,
-            scale_down_backlog_ns: solo / 16,
-            window_ns: (solo / 4).max(1),
-        });
-        load.run_elastic(plane, &clock, &mut resources, policy.as_mut(), Some(&mut scaler))
-    } else {
-        load.run(plane, &clock, &mut resources, policy.as_mut())
-    }
-    .expect("closed-loop run");
-    assert_eq!(run.outcomes.len(), users * rounds, "every instance must complete");
-    run
-}
-
-struct Cell {
-    system: &'static str,
-    policy: &'static str,
-    users: usize,
-    autoscaled: bool,
-    cold: bool,
-    solo_ns: Nanos,
-    run: LoadRun,
-}
-
-impl Cell {
-    fn json(&self) -> String {
-        let digest = self.run.sojourn_percentiles().expect("non-empty run");
-        let events: Vec<String> = self
-            .run
-            .scale_events
-            .iter()
-            .map(|e| {
-                format!(
-                    "{{\"t_s\": {:.6}, \"action\": \"{}\", \"nodes\": {}}}",
-                    secs(e.at_ns),
-                    match e.action {
-                        roadrunner_platform::ScaleAction::Up => "up",
-                        roadrunner_platform::ScaleAction::Down => "down",
-                    },
-                    e.nodes_after,
-                )
-            })
-            .collect();
-        format!(
-            concat!(
-                "    {{\"system\": \"{}\", \"policy\": \"{}\", \"users\": {}, ",
-                "\"autoscaled\": {}, \"cold_admission\": {}, \"instances\": {}, ",
-                "\"solo_s\": {:.6}, \"think_s\": {:.6}, ",
-                "\"saturation_rps\": {:.3}, ",
-                "\"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}, \"max_s\": {:.6}, ",
-                "\"cpu_util\": {:.4}, \"cold_starts\": {}, \"cold_total_s\": {:.6}, ",
-                "\"final_nodes\": {}, \"scale_events\": [{}]}}"
-            ),
-            self.system,
-            self.policy,
-            self.users,
-            self.autoscaled,
-            self.cold,
-            self.run.outcomes.len(),
-            secs(self.solo_ns),
-            secs(self.solo_ns / 4),
-            self.run.throughput_rps(),
-            secs(digest.p50_ns),
-            secs(digest.p95_ns),
-            secs(digest.p99_ns),
-            secs(digest.max_ns),
-            self.run.cpu_utilization,
-            self.run.cold_starts(),
-            secs(self.run.cold_start_total_ns()),
-            self.run.final_nodes,
-            events.join(", "),
-        )
-    }
-}
+use roadrunner_bench::fig13::{fig13_json, Fig13Options};
+use roadrunner_bench::{flag, quick_flag, sweep_mode_flag};
 
 fn main() {
-    let quick = quick_flag();
-    let no_memo = flag("--no-memo");
-    let payload_bytes = if quick { 2 * MB } else { 4 * MB };
-    let users_sweep: Vec<usize> = if quick { vec![2, 16] } else { vec![4, 16, 32] };
-    let rounds = if quick { 3 } else { 5 };
-    let payload = Bytes::from(vec![0xB3u8; payload_bytes]);
-    let top_users = *users_sweep.last().expect("non-empty sweep");
-
-    let mut cells: Vec<Cell> = Vec::new();
-    for policy_name in ["locality", "pack_spill"] {
-        let bed = cluster();
-        let mut under_load = systems(&bed, &payload);
-
-        // Determinism: the same cell re-run on fresh resources must
-        // reproduce its placements exactly.
-        {
-            let system = &mut under_load[0];
-            let knobs =
-                Knobs { users: users_sweep[0], rounds, autoscaled: false, cold: false, memo: !no_memo };
-            let a = run_cell(system, &bed, &payload, policy_name, knobs);
-            let b = run_cell(system, &bed, &payload, policy_name, knobs);
-            let pa: Vec<&[usize]> = a.outcomes.iter().map(|o| o.assignment.as_slice()).collect();
-            let pb: Vec<&[usize]> = b.outcomes.iter().map(|o| o.assignment.as_slice()).collect();
-            assert_eq!(pa, pb, "{policy_name}: placements must be deterministic");
-        }
-
-        for &users in &users_sweep {
-            for autoscaled in [false, true] {
-                for system in under_load.iter_mut() {
-                    let run = run_cell(
-                        system,
-                        &bed,
-                        &payload,
-                        policy_name,
-                        Knobs { users, rounds, autoscaled, cold: false, memo: !no_memo },
-                    );
-                    cells.push(Cell {
-                        system: system.label,
-                        policy: policy_name,
-                        users,
-                        autoscaled,
-                        cold: false,
-                        solo_ns: system.solo_ns,
-                        run,
-                    });
-                }
-                // Saturation-throughput ordering under identical knobs.
-                let rr = cells
-                    .iter()
-                    .rev()
-                    .find(|c| c.system == "roadrunner")
-                    .expect("roadrunner cell exists");
-                let we = cells
-                    .iter()
-                    .rev()
-                    .find(|c| c.system == "wasmedge")
-                    .expect("wasmedge cell exists");
-                assert!(
-                    rr.run.throughput_rps() >= we.run.throughput_rps(),
-                    "{policy_name} users={users} autoscaled={autoscaled}: \
-                     roadrunner {} rps < wasmedge {} rps",
-                    rr.run.throughput_rps(),
-                    we.run.throughput_rps(),
-                );
-            }
-        }
-
-        // Elasticity headline: at the highest user count, scaling out
-        // must cut Roadrunner's p95 sojourn vs fixed capacity.
-        let p95 = |autoscaled: bool| {
-            cells
-                .iter()
-                .find(|c| {
-                    c.system == "roadrunner"
-                        && c.policy == policy_name
-                        && c.users == top_users
-                        && c.autoscaled == autoscaled
-                        && !c.cold
-                })
-                .expect("cell exists")
-                .run
-                .sojourn_percentiles()
-                .expect("non-empty")
-                .p95_ns
-        };
-        let (fixed_p95, elastic_p95) = (p95(false), p95(true));
-        assert!(
-            elastic_p95 < fixed_p95,
-            "{policy_name}: autoscaled p95 {elastic_p95} must beat fixed {fixed_p95}",
-        );
-
-        // Cold-admission section: the highest-user fixed cell, paying
-        // each function's fig2a cold start on first placement per node.
-        for system in under_load.iter_mut() {
-            let warm_mean = cells
-                .iter()
-                .find(|c| {
-                    c.system == system.label
-                        && c.policy == policy_name
-                        && c.users == top_users
-                        && !c.autoscaled
-                        && !c.cold
-                })
-                .expect("warm cell exists")
-                .run
-                .sojourn_percentiles()
-                .expect("non-empty")
-                .mean_ns;
-            let knobs =
-                Knobs { users: top_users, rounds, autoscaled: false, cold: true, memo: !no_memo };
-            let run = run_cell(system, &bed, &payload, policy_name, knobs);
-            assert!(run.cold_starts() > 0, "{}: cold admission must charge someone", system.label);
-            let cold_mean = run.sojourn_percentiles().expect("non-empty").mean_ns;
-            assert!(
-                cold_mean > warm_mean,
-                "{}: cold admission must show up in mean sojourn ({cold_mean} !> {warm_mean})",
-                system.label,
-            );
-            cells.push(Cell {
-                system: system.label,
-                policy: policy_name,
-                users: top_users,
-                autoscaled: false,
-                cold: true,
-                solo_ns: system.solo_ns,
-                run,
-            });
-        }
-    }
-
-    println!("{{");
-    println!("  \"figure\": \"fig13_elastic\",");
-    println!(
-        "  \"cluster\": {{\"nodes_fixed\": {START_NODES}, \"nodes_max\": {MAX_NODES}, \
-         \"cores_per_node\": {CORES}}},"
-    );
-    println!("  \"workflow\": \"src -> relay -> sink\",");
-    println!("  \"payload_mb\": {:.1},", payload_bytes as f64 / MB as f64);
-    println!("  \"rounds_per_user\": {rounds},");
-    println!("  \"cells\": [");
-    let rows: Vec<String> = cells.iter().map(Cell::json).collect();
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    let opts = Fig13Options {
+        quick: quick_flag(),
+        golden: false,
+        memo: !flag("--no-memo"),
+        mode: sweep_mode_flag(),
+    };
+    println!("{}", fig13_json(&opts));
 }

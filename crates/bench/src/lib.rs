@@ -12,9 +12,13 @@
 //! serialization; Roadrunner has none) "until the target function has
 //! successfully received it".
 
+pub mod fig12;
+pub mod fig13;
+
 use std::sync::Arc;
 
 use bytes::Bytes;
+use roadrunner_platform::{available_workers, SweepMode};
 use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
 use roadrunner_baselines::{RuncPair, WasmedgePair};
 use roadrunner_platform::FunctionBundle;
@@ -473,6 +477,29 @@ pub fn quick_flag() -> bool {
 /// diffs the (default) memoized output against.
 pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// The value following `--workers` on the command line, if any.
+pub fn workers_flag() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--workers" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+/// Sweep execution mode from the command line: `--serial` forces the
+/// in-order reference loop (the byte-identity baseline CI diffs
+/// against), `--workers N` sizes the pool explicitly, and the default
+/// is one worker per available core.
+pub fn sweep_mode_flag() -> SweepMode {
+    if flag("--serial") {
+        SweepMode::Serial
+    } else {
+        SweepMode::Parallel { workers: workers_flag().unwrap_or_else(available_workers) }
+    }
 }
 
 /// Prints a figure panel header.

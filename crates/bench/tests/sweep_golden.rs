@@ -1,0 +1,52 @@
+//! Golden-stability promotion of the CI byte-identity gate into
+//! `cargo test`: the fig12 and fig13 sweeps are run **in-process**,
+//! once on the serial reference loop and once on the worker pool, and
+//! the complete JSON documents must match byte for byte. A determinism
+//! regression in the parallel engine therefore fails tier-1 locally
+//! instead of only the CI diff step.
+
+use roadrunner_bench::fig12::{fig12_json, Fig12Options};
+use roadrunner_bench::fig13::{fig13_json, Fig13Options};
+use roadrunner_platform::SweepMode;
+
+#[test]
+fn fig12_parallel_output_is_byte_identical_to_serial() {
+    let serial = fig12_json(&Fig12Options {
+        quick: true,
+        golden: true,
+        memo: true,
+        mode: SweepMode::Serial,
+    });
+    let parallel = fig12_json(&Fig12Options {
+        quick: true,
+        golden: true,
+        memo: true,
+        mode: SweepMode::Parallel { workers: 4 },
+    });
+    assert!(
+        serial == parallel,
+        "fig12 parallel JSON diverged from serial:\n--- serial ---\n{serial}\n--- parallel ---\n{parallel}"
+    );
+    assert!(serial.contains("\"figure\": \"fig12_load\""));
+}
+
+#[test]
+fn fig13_parallel_output_is_byte_identical_to_serial() {
+    let serial = fig13_json(&Fig13Options {
+        quick: true,
+        golden: true,
+        memo: true,
+        mode: SweepMode::Serial,
+    });
+    let parallel = fig13_json(&Fig13Options {
+        quick: true,
+        golden: true,
+        memo: true,
+        mode: SweepMode::Parallel { workers: 4 },
+    });
+    assert!(
+        serial == parallel,
+        "fig13 parallel JSON diverged from serial:\n--- serial ---\n{serial}\n--- parallel ---\n{parallel}"
+    );
+    assert!(serial.contains("\"figure\": \"fig13_elastic\""));
+}

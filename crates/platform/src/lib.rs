@@ -30,8 +30,15 @@
 //!   [`ResourceView`](roadrunner_vkernel::ResourceView), optional
 //!   cold-start admission, and a backlog-driven [`loadgen::Autoscaler`]
 //!   resizing capacity mid-run.
-//! * [`metrics`] — sample collection, summaries and latency percentile
-//!   digests (exact nearest-rank and streaming P²) for the harness.
+//! * [`metrics`] — sample collection, summaries, latency percentile
+//!   digests (exact nearest-rank and streaming P²) and multi-seed
+//!   [`metrics::Replicated`] summaries with order-statistic confidence
+//!   intervals for the harness.
+//! * [`mod@sweep`] — the parallel sweep engine: a scoped-thread worker pool
+//!   fanning a declarative [`sweep::SweepGrid`] (rates × payloads ×
+//!   policies × seeds) across cores, merging results in deterministic
+//!   grid order so parallel output is byte-identical to the serial
+//!   loop.
 //!
 //! ```
 //! use roadrunner_platform::bundle::FunctionBundle;
@@ -62,6 +69,7 @@ pub mod memo;
 pub mod metrics;
 pub mod registry;
 pub mod scheduler;
+pub mod sweep;
 pub mod workflow;
 
 pub use bundle::{BundleKind, FunctionBundle, Manifest};
@@ -73,8 +81,8 @@ pub use loadgen::{
     Placed, ScaleAction, ScaleEvent,
 };
 pub use metrics::{
-    percentiles, percentiles_sorted, MetricsCollector, P2Quantile, PercentileSummary, Sample,
-    StreamingPercentiles, Summary, STREAMING_EXACT_MAX,
+    percentiles, percentiles_sorted, replicate, MetricsCollector, P2Quantile, PercentileSummary,
+    Replicated, ReplicatedStat, Sample, StreamingPercentiles, Summary, STREAMING_EXACT_MAX,
 };
 pub use registry::FunctionRegistry;
 pub use scheduler::{
@@ -82,6 +90,9 @@ pub use scheduler::{
     SpreadLoad,
 };
 pub use memo::MemoizedPlane;
+pub use sweep::{
+    available_workers, parallel_map, run_jobs, sweep, SweepGrid, SweepMode, SweepPoint,
+};
 pub use workflow::{
     critical_path_ns, execute, execute_compiled, execute_compiled_at, execute_concurrent,
     execute_concurrent_at, CompiledWorkflow, DataPlane, EdgeResult, TransferTiming, WorkflowRun,

@@ -95,6 +95,18 @@ impl ArrivalProcess {
             ArrivalProcess::Poisson { mean_interval_ns, .. } => mean_interval_ns,
         }
     }
+
+    /// The same process re-seeded — the replication seam the sweep
+    /// engine uses to run one grid cell under several arrival seeds.
+    /// Uniform arrivals carry no randomness and are returned unchanged.
+    pub fn with_seed(self, seed: u64) -> Self {
+        match self {
+            ArrivalProcess::Uniform { .. } => self,
+            ArrivalProcess::Poisson { mean_interval_ns, .. } => {
+                ArrivalProcess::Poisson { mean_interval_ns, seed }
+            }
+        }
+    }
 }
 
 fn splitmix64(state: &mut u64) -> u64 {

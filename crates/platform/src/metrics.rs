@@ -101,6 +101,104 @@ pub fn percentiles_sorted(sorted: &[Nanos]) -> Option<PercentileSummary> {
     })
 }
 
+/// One statistic replicated across seeds: the across-seed mean plus a
+/// nearest-rank order-statistic confidence interval.
+///
+/// With `K` replicas the interval spans the `⌈0.025·K⌉`-th smallest to
+/// the symmetric-from-the-top order statistic — a distribution-free
+/// ~95% CI for the median of the replicated statistic. For the small
+/// replica counts sweeps actually use (K ≤ 40) the ranks degenerate to
+/// the first and last order statistics, i.e. the interval is exactly
+/// `[min, max]`, which always brackets the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicatedStat {
+    /// Mean of the statistic across replicas.
+    pub mean: f64,
+    /// Smallest replica value.
+    pub min: f64,
+    /// Largest replica value.
+    pub max: f64,
+    /// Lower confidence bound (an observed replica value).
+    pub ci_lo: f64,
+    /// Upper confidence bound (an observed replica value).
+    pub ci_hi: f64,
+}
+
+impl ReplicatedStat {
+    /// Replicates `values` (one per seed); `None` when empty. Sorting
+    /// is by `f64::total_cmp`, so the result is invariant under any
+    /// permutation of the replicas.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let k = sorted.len();
+        // Symmetric order-statistic ranks: lo = ⌈0.025·K⌉ clamped to
+        // ≥1, hi mirrored from the top. For K ≤ 40, lo = 1 and
+        // hi = K — the interval is [min, max].
+        let lo_rank = ((0.025 * k as f64).ceil() as usize).max(1);
+        let hi_rank = k + 1 - lo_rank;
+        Some(Self {
+            mean: sorted.iter().sum::<f64>() / k as f64,
+            min: sorted[0],
+            max: sorted[k - 1],
+            ci_lo: sorted[lo_rank - 1],
+            ci_hi: sorted[hi_rank - 1],
+        })
+    }
+}
+
+/// A multi-seed replication of a latency digest: per-seed
+/// [`PercentileSummary`] runs collapsed into across-seed
+/// [`ReplicatedStat`]s for the mean and each tail percentile — the
+/// "N runs, mean ± CI" row the figure tables report instead of a
+/// single-seed point estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replicated {
+    /// Number of seed replicas collapsed.
+    pub seeds: usize,
+    /// Total observations across all replicas.
+    pub count: usize,
+    /// Across-seed replication of the per-run mean latency.
+    pub mean_ns: ReplicatedStat,
+    /// Across-seed replication of the per-run p50.
+    pub p50_ns: ReplicatedStat,
+    /// Across-seed replication of the per-run p95.
+    pub p95_ns: ReplicatedStat,
+    /// Across-seed replication of the per-run p99.
+    pub p99_ns: ReplicatedStat,
+    /// Across-seed replication of the per-run max.
+    pub max_ns: ReplicatedStat,
+}
+
+/// Collapses per-seed digests into a [`Replicated`] summary; `None`
+/// when `runs` is empty.
+///
+/// Permutation-invariant in the order of `runs` (every statistic is
+/// reduced through a sort), and a single run degenerates exactly to
+/// that run's digest: mean/min/max/ci_lo/ci_hi of each statistic all
+/// equal the one observed value.
+pub fn replicate(runs: &[PercentileSummary]) -> Option<Replicated> {
+    if runs.is_empty() {
+        return None;
+    }
+    let stat = |pick: fn(&PercentileSummary) -> f64| {
+        let values: Vec<f64> = runs.iter().map(pick).collect();
+        ReplicatedStat::from_values(&values).expect("runs is non-empty")
+    };
+    Some(Replicated {
+        seeds: runs.len(),
+        count: runs.iter().map(|r| r.count).sum(),
+        mean_ns: stat(|r| r.mean_ns),
+        p50_ns: stat(|r| r.p50_ns as f64),
+        p95_ns: stat(|r| r.p95_ns as f64),
+        p99_ns: stat(|r| r.p99_ns as f64),
+        max_ns: stat(|r| r.max_ns as f64),
+    })
+}
+
 /// Number of observations a [`StreamingPercentiles`] digest holds
 /// exactly before switching to the P² estimators: below this the
 /// summary equals the nearest-rank path bit for bit.
@@ -569,6 +667,63 @@ mod tests {
     #[should_panic(expected = "strictly between")]
     fn p2_rejects_degenerate_quantiles() {
         P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn replicated_stat_small_k_interval_is_min_max() {
+        let s = ReplicatedStat::from_values(&[30.0, 10.0, 20.0]).unwrap();
+        assert_eq!(s.mean, 20.0);
+        assert_eq!((s.min, s.max), (10.0, 30.0));
+        assert_eq!((s.ci_lo, s.ci_hi), (10.0, 30.0));
+        assert!(ReplicatedStat::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn replicated_stat_large_k_trims_symmetric_tails() {
+        // K = 100: lo rank = ⌈2.5⌉ = 3, hi rank = 98.
+        let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = ReplicatedStat::from_values(&values).unwrap();
+        assert_eq!((s.ci_lo, s.ci_hi), (3.0, 98.0));
+        assert_eq!((s.min, s.max), (1.0, 100.0));
+        assert!(s.ci_lo <= s.mean && s.mean <= s.ci_hi);
+    }
+
+    #[test]
+    fn replicate_single_run_degenerates_to_the_digest() {
+        let run = percentiles(&[10, 20, 30, 40]).unwrap();
+        let rep = replicate(&[run]).unwrap();
+        assert_eq!(rep.seeds, 1);
+        assert_eq!(rep.count, run.count);
+        for (stat, want) in [
+            (rep.mean_ns, run.mean_ns),
+            (rep.p50_ns, run.p50_ns as f64),
+            (rep.p95_ns, run.p95_ns as f64),
+            (rep.p99_ns, run.p99_ns as f64),
+            (rep.max_ns, run.max_ns as f64),
+        ] {
+            assert_eq!(stat.mean, want);
+            assert_eq!(stat.min, want);
+            assert_eq!(stat.max, want);
+            assert_eq!(stat.ci_lo, want);
+            assert_eq!(stat.ci_hi, want);
+        }
+        assert!(replicate(&[]).is_none());
+    }
+
+    #[test]
+    fn replicate_is_seed_order_invariant() {
+        let runs: Vec<PercentileSummary> = [&[5u64, 9, 40][..], &[100, 200][..], &[7][..]]
+            .iter()
+            .map(|obs| percentiles(obs).unwrap())
+            .collect();
+        let forward = replicate(&runs).unwrap();
+        let mut reversed = runs.clone();
+        reversed.reverse();
+        assert_eq!(forward, replicate(&reversed).unwrap());
+        assert_eq!(forward.seeds, 3);
+        assert_eq!(forward.count, 6);
+        assert!(forward.p95_ns.ci_lo <= forward.p95_ns.mean);
+        assert!(forward.p95_ns.mean <= forward.p95_ns.ci_hi);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Property-based tests for multi-seed replication: [`replicate`] and
+//! [`ReplicatedStat`] must be permutation-invariant in seed order, the
+//! confidence bounds must bracket the mean, and a single-seed
+//! replication must degenerate exactly to the one run's digest.
+
+use proptest::prelude::*;
+use roadrunner_platform::{percentiles, replicate, PercentileSummary, ReplicatedStat};
+
+/// Splitmix-style shuffler so permutations derive deterministically
+/// from the proptest-provided seed.
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out = items.to_vec();
+    let mut state = seed;
+    for i in (1..out.len()).rev() {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let j = ((z ^ (z >> 31)) % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Per-seed digests from arbitrary non-empty latency vectors.
+fn digests(latencies: &[Vec<u64>]) -> Vec<PercentileSummary> {
+    latencies.iter().map(|obs| percentiles(obs).expect("non-empty")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replication is invariant under any permutation of the seed
+    /// replicas.
+    #[test]
+    fn replicate_is_permutation_invariant(
+        runs in proptest::collection::vec(
+            proptest::collection::vec(1u64..1_000_000, 1..12), 1..10),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let ordered = digests(&runs);
+        let permuted = shuffled(&ordered, shuffle_seed);
+        let a = replicate(&ordered).expect("non-empty");
+        let b = replicate(&permuted).expect("non-empty");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every replicated statistic's CI brackets its across-seed mean,
+    /// and min/max bracket the CI.
+    #[test]
+    fn ci_bounds_bracket_the_mean(
+        runs in proptest::collection::vec(
+            proptest::collection::vec(1u64..1_000_000, 1..12), 1..10),
+    ) {
+        let rep = replicate(&digests(&runs)).expect("non-empty");
+        for stat in [rep.mean_ns, rep.p50_ns, rep.p95_ns, rep.p99_ns, rep.max_ns] {
+            prop_assert!(stat.min <= stat.ci_lo);
+            prop_assert!(stat.ci_lo <= stat.mean && stat.mean <= stat.ci_hi,
+                "CI [{}, {}] must bracket mean {}", stat.ci_lo, stat.ci_hi, stat.mean);
+            prop_assert!(stat.ci_hi <= stat.max);
+        }
+        prop_assert_eq!(rep.seeds, runs.len());
+        prop_assert_eq!(rep.count, runs.iter().map(Vec::len).sum::<usize>());
+    }
+
+    /// One seed: the replication collapses to exactly the single run's
+    /// digest — mean, bounds and CI all equal the observed value.
+    #[test]
+    fn single_seed_degenerates_to_the_run_digest(
+        obs in proptest::collection::vec(1u64..1_000_000, 1..32),
+    ) {
+        let digest = percentiles(&obs).expect("non-empty");
+        let rep = replicate(&[digest]).expect("non-empty");
+        prop_assert_eq!(rep.seeds, 1);
+        prop_assert_eq!(rep.count, digest.count);
+        for (stat, want) in [
+            (rep.mean_ns, digest.mean_ns),
+            (rep.p50_ns, digest.p50_ns as f64),
+            (rep.p95_ns, digest.p95_ns as f64),
+            (rep.p99_ns, digest.p99_ns as f64),
+            (rep.max_ns, digest.max_ns as f64),
+        ] {
+            prop_assert_eq!(stat.mean, want);
+            prop_assert_eq!(stat.min, want);
+            prop_assert_eq!(stat.max, want);
+            prop_assert_eq!(stat.ci_lo, want);
+            prop_assert_eq!(stat.ci_hi, want);
+        }
+    }
+
+    /// Raw-value replication sorts by total order, so NaN-free inputs
+    /// in any order produce identical stats.
+    #[test]
+    fn replicated_stat_values_are_order_invariant(
+        values in proptest::collection::vec(0u32..1_000_000, 1..40),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let a = ReplicatedStat::from_values(&floats).expect("non-empty");
+        let b = ReplicatedStat::from_values(&shuffled(&floats, shuffle_seed)).expect("non-empty");
+        prop_assert_eq!(a, b);
+        prop_assert!(a.ci_lo <= a.mean && a.mean <= a.ci_hi);
+    }
+}

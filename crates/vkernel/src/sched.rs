@@ -341,6 +341,17 @@ impl ResourceView {
     }
 }
 
+/// The cluster's schedulable capacity: per-node CPU [`Timeline`]s plus
+/// either one shared WAN link or a per-pair mesh.
+///
+/// `SchedResources` is `Send` (asserted at compile time below), and a
+/// sweep worker that wants an isolated simulation should *construct its
+/// own* instance inside the worker thread rather than share one: every
+/// reservation mutates timeline state, so two concurrent runs against
+/// one instance would interleave nondeterministically. Per-worker
+/// construction is cheap — a handful of heap vectors — and is what
+/// makes the parallel sweep engine's output byte-identical to the
+/// serial loop's.
 #[derive(Debug, Clone)]
 pub struct SchedResources {
     cpus: Vec<Timeline>,
@@ -659,6 +670,23 @@ impl SchedResources {
         self.retired_link_ns = 0;
     }
 }
+
+// The parallel sweep engine (`platform::sweep`) constructs one
+// `SchedResources` (plus clock and event queue) *per worker thread* and
+// sends results back across the scope join. That pattern is only sound
+// while these types stay `Send`: no `Rc`, `RefCell`, raw pointers or
+// thread-local state may creep into the scheduler. Compile-time
+// assertions, so a regression is a build error rather than a
+// mysteriously flaky sweep.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<Timeline>();
+    assert_send::<SchedResources>();
+    assert_send::<ResourceView>();
+    assert_send::<EventQueue<u64>>();
+    assert_send_sync::<crate::VirtualClock>();
+};
 
 #[cfg(test)]
 mod tests {
