@@ -407,11 +407,14 @@ fn main() {
                  on a {cores}-core host (measured {speedup:.2}x)"
             );
         }
+        // Record whether the >= 2x gate actually applied: on a host
+        // with fewer cores than workers the row measures pool overhead,
+        // not scaling, and a sub-1x "speedup" there is expected.
         let row = format!(
             concat!(
                 "    {{\"scenario\": \"parallel\", \"baseline\": {}, \"optimized\": {}, ",
                 "\"speedup\": {:.2}, \"threads\": {}, \"cores_available\": {}, ",
-                "\"scaling_efficiency\": {:.2}}}"
+                "\"scaling_efficiency\": {:.2}, \"gate_active\": {}, \"note\": \"{}\"}}"
             ),
             scenario.baseline.json(),
             scenario.optimized.json(),
@@ -419,6 +422,12 @@ fn main() {
             threads,
             cores,
             efficiency,
+            cores >= threads,
+            if cores >= threads {
+                "gate enforced: >= 2x over serial required"
+            } else {
+                "gate skipped: fewer cores than workers, row measures pool overhead only"
+            },
         );
         (speedup, row)
     };

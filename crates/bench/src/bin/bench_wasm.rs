@@ -1,0 +1,317 @@
+//! Interpreter-throughput benchmark — the execution-tier gate.
+//!
+//! Runs three guest kernels on **both** execution tiers in the same
+//! process — the flat-bytecode dispatch loop ([`ExecTier::Compiled`])
+//! against the tree walker ([`ExecTier::Reference`]) — and records
+//! calls/sec and ns per retired wasm instruction for each:
+//!
+//! * `compute` — a two-round xorshift32/accumulate loop in the
+//!   local-SSA style compilers emit: pure local arithmetic and branch
+//!   dispatch, the tree walker's worst case and the superinstruction
+//!   pass's best;
+//! * `calls` — naive recursive `fib`, all frame setup/teardown on the
+//!   reusable frame arena vs host-stack recursion;
+//! * `memory` — a bounds-checked load/increment/store loop.
+//!
+//! Every scenario asserts the two tiers return the same value and
+//! retire the same `instr_count` — the flat tier may only change
+//! wall-clock — and the `compute` scenario must show **>= 3x**
+//! calls/sec, the regression gate future interpreter PRs are judged
+//! against (enforced in `--quick` CI runs too).
+//!
+//! Emits `BENCH_wasm.json` (written to the working directory) and the
+//! same JSON on stdout.
+//!
+//! Run: `cargo run -p roadrunner-bench --release --bin bench_wasm [--quick]`
+
+use std::time::Instant;
+
+use roadrunner_bench::quick_flag;
+use roadrunner_wasm::types::{FuncType, ValType, Value};
+use roadrunner_wasm::{
+    BlockType, EngineLimits, ExecTier, Instance, Instr, Linker, MemArg, Module, ModuleBuilder,
+};
+
+/// The compute gate: flat must beat tree by at least this factor.
+const COMPUTE_GATE: f64 = 3.0;
+
+/// `loop(n) { x = xorshift32(xorshift32(x)); acc += x }` — locals
+/// 0 = n (param), 1 = i, 2 = x, 3 = acc, 4 = t. Two mixing rounds per
+/// iteration keep the arithmetic-to-branch ratio near what compiled
+/// guest code looks like.
+fn compute_module() -> Module {
+    let shift = |amount: i32, op: Instr| {
+        vec![
+            // t = x <shift> amount; x = x ^ t
+            Instr::LocalGet(2),
+            Instr::I32Const(amount),
+            op,
+            Instr::LocalSet(4),
+            Instr::LocalGet(2),
+            Instr::LocalGet(4),
+            Instr::I32Xor,
+            Instr::LocalSet(2),
+        ]
+    };
+    let mut body = vec![
+        Instr::LocalGet(1),
+        Instr::LocalGet(0),
+        Instr::I32GeU,
+        Instr::BrIf(1),
+    ];
+    for _ in 0..2 {
+        body.extend(shift(13, Instr::I32Shl));
+        body.extend(shift(17, Instr::I32ShrU));
+        body.extend(shift(5, Instr::I32Shl));
+    }
+    body.extend([
+        // acc += x; i += 1
+        Instr::LocalGet(3),
+        Instr::LocalGet(2),
+        Instr::I32Add,
+        Instr::LocalSet(3),
+        Instr::LocalGet(1),
+        Instr::I32Const(1),
+        Instr::I32Add,
+        Instr::LocalSet(1),
+        Instr::Br(0),
+    ]);
+    ModuleBuilder::new()
+        .func(
+            FuncType::new([ValType::I32], [ValType::I32]),
+            [ValType::I32; 4],
+            [
+                // x starts at the nonzero xorshift seed.
+                Instr::I32Const(0x9E3779B9u32 as i32),
+                Instr::LocalSet(2),
+                Instr::Block(BlockType::Empty, vec![Instr::Loop(BlockType::Empty, body)]),
+                Instr::LocalGet(3),
+            ],
+        )
+        .export_func("run", 0)
+        .build()
+        .expect("compute guest validates")
+}
+
+/// Naive recursive fib — every level is two wasm->wasm calls.
+fn calls_module() -> Module {
+    ModuleBuilder::new()
+        .func(
+            FuncType::new([ValType::I32], [ValType::I32]),
+            [],
+            [
+                Instr::LocalGet(0),
+                Instr::I32Const(2),
+                Instr::I32LtS,
+                Instr::If(
+                    BlockType::Value(ValType::I32),
+                    vec![Instr::LocalGet(0)],
+                    vec![
+                        Instr::LocalGet(0),
+                        Instr::I32Const(1),
+                        Instr::I32Sub,
+                        Instr::Call(0),
+                        Instr::LocalGet(0),
+                        Instr::I32Const(2),
+                        Instr::I32Sub,
+                        Instr::Call(0),
+                        Instr::I32Add,
+                    ],
+                ),
+            ],
+        )
+        .export_func("run", 0)
+        .build()
+        .expect("calls guest validates")
+}
+
+/// `loop(n) { mem[a] = load(mem[a]) + 1 }` with `a = (i*4) & 0xFFFC`.
+fn memory_module() -> Module {
+    ModuleBuilder::new()
+        .func(
+            FuncType::new([ValType::I32], [ValType::I32]),
+            [ValType::I32, ValType::I32],
+            [
+                Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Loop(
+                        BlockType::Empty,
+                        vec![
+                            Instr::LocalGet(1),
+                            Instr::LocalGet(0),
+                            Instr::I32GeU,
+                            Instr::BrIf(1),
+                            Instr::LocalGet(1),
+                            Instr::I32Const(4),
+                            Instr::I32Mul,
+                            Instr::I32Const(0xFFFC),
+                            Instr::I32And,
+                            Instr::LocalTee(2),
+                            Instr::LocalGet(2),
+                            Instr::I32Load(MemArg::natural(4)),
+                            Instr::I32Const(1),
+                            Instr::I32Add,
+                            Instr::I32Store(MemArg::natural(4)),
+                            Instr::LocalGet(1),
+                            Instr::I32Const(1),
+                            Instr::I32Add,
+                            Instr::LocalSet(1),
+                            Instr::Br(0),
+                        ],
+                    )],
+                ),
+                Instr::LocalGet(1),
+            ],
+        )
+        .memory(1, Some(1))
+        .export_func("run", 0)
+        .build()
+        .expect("memory guest validates")
+}
+
+/// One timed tier run: `calls` invocations retiring `instrs` wasm
+/// instructions in `wall_s` seconds of host time.
+struct Measured {
+    calls: usize,
+    instrs: u64,
+    wall_s: f64,
+}
+
+impl Measured {
+    fn calls_per_sec(&self) -> f64 {
+        self.calls as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn ns_per_instr(&self) -> f64 {
+        self.wall_s * 1e9 / self.instrs.max(1) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"calls\": {}, \"instrs\": {}, \"wall_ms\": {:.3}, ",
+                "\"calls_per_sec\": {:.1}, \"ns_per_instr\": {:.2}}}"
+            ),
+            self.calls,
+            self.instrs,
+            self.wall_s * 1e3,
+            self.calls_per_sec(),
+            self.ns_per_instr(),
+        )
+    }
+}
+
+/// Timed batches per tier run. The reported wall time extrapolates the
+/// *fastest* batch — every batch retires identical work, so the spread
+/// between them is scheduler noise, not the interpreter.
+const BATCHES: usize = 5;
+
+/// Instantiates `module` on `tier`, warms it up (so the compiled tier's
+/// one-time lowering and the OS's cold caches drop out), then times
+/// `calls` invocations in [`BATCHES`] batches, keeping the fastest.
+/// Returns the guest's result alongside the measurement so tiers can
+/// be cross-checked.
+fn run_tier(module: &Module, tier: ExecTier, arg: i32, calls: usize) -> (Value, Measured) {
+    let limits = EngineLimits::default().with_exec_tier(tier);
+    let mut inst = Instance::new(module.clone(), &Linker::new(), limits, Box::new(()))
+        .expect("guest instantiates");
+    let args = [Value::I32(arg)];
+    inst.invoke("run", &args).expect("warmup call");
+    let expect = inst.invoke("run", &args).expect("warmup call")[0];
+    inst.reset_instr_count();
+    let per_batch = (calls / BATCHES).max(1);
+    let mut best_s = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..per_batch {
+            let out = inst.invoke("run", &args).expect("timed call");
+            assert_eq!(out[0], expect, "guest must be deterministic");
+        }
+        best_s = best_s.min(start.elapsed().as_secs_f64());
+    }
+    let measured = Measured {
+        calls: per_batch * BATCHES,
+        instrs: inst.instr_count(),
+        wall_s: best_s * BATCHES as f64,
+    };
+    (expect, measured)
+}
+
+struct Scenario {
+    name: &'static str,
+    /// Loop iterations (or fib argument) per call.
+    arg: i32,
+    tree: Measured,
+    flat: Measured,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        self.flat.calls_per_sec() / self.tree.calls_per_sec().max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"scenario\": \"{}\", \"arg\": {}, \"tree\": {}, ",
+                "\"flat\": {}, \"speedup\": {:.2}}}"
+            ),
+            self.name,
+            self.arg,
+            self.tree.json(),
+            self.flat.json(),
+            self.speedup(),
+        )
+    }
+}
+
+/// Runs one guest on both tiers and cross-checks them: same result,
+/// same retired instruction count — the tiers' exact-equivalence
+/// contract, here end-to-end rather than per-op.
+fn scenario(name: &'static str, module: &Module, arg: i32, calls: usize) -> Scenario {
+    let (tree_val, tree) = run_tier(module, ExecTier::Reference, arg, calls);
+    let (flat_val, flat) = run_tier(module, ExecTier::Compiled, arg, calls);
+    assert_eq!(flat_val, tree_val, "{name}: tiers must return the same value");
+    assert_eq!(
+        flat.instrs, tree.instrs,
+        "{name}: tiers must retire the same instruction count"
+    );
+    Scenario { name, arg, tree, flat }
+}
+
+fn main() {
+    let quick = quick_flag();
+    let calls = |full: usize| if quick { full / 10 } else { full };
+
+    let scenarios = [
+        scenario("compute", &compute_module(), 10_000, calls(200)),
+        scenario("calls", &calls_module(), 20, calls(50)),
+        scenario("memory", &memory_module(), 10_000, calls(200)),
+    ];
+
+    let compute_speedup = scenarios[0].speedup();
+    assert!(
+        compute_speedup >= COMPUTE_GATE,
+        "execution-tier gate: flat bytecode must run the compute kernel >= {COMPUTE_GATE}x \
+         calls/sec over the tree walker (measured {compute_speedup:.2}x)"
+    );
+
+    let rows: Vec<String> = scenarios.iter().map(Scenario::json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"bench_wasm\",\n",
+            "  \"quick\": {},\n",
+            "  \"gate\": {{\"scenario\": \"compute\", \"min_speedup\": {:.1}, ",
+            "\"measured\": {:.2}}},\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}"
+        ),
+        quick,
+        COMPUTE_GATE,
+        compute_speedup,
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_wasm.json", format!("{json}\n")).expect("write BENCH_wasm.json");
+    println!("{json}");
+}

@@ -1,0 +1,298 @@
+//! Micro-benchmarks for the interpreter's hot paths, run on both
+//! execution tiers so the flat-bytecode speedup over the tree walker is
+//! visible per-kernel (the end-to-end gate lives in `bench_wasm`).
+//!
+//! Covered: the dispatch loop on a compute-bound kernel, a call-heavy
+//! recursive fib, the host-call round-trip, and `Instance::new` cost
+//! (which after the first compile must not pay for lowering again).
+//!
+//! Run: `cargo bench -p roadrunner-wasm`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use roadrunner_wasm::types::{FuncType, ValType, Value};
+use roadrunner_wasm::{
+    BlockType, EngineLimits, ExecTier, Instance, Instr, Linker, MemArg, Module, ModuleBuilder,
+};
+
+const TIERS: [(&str, ExecTier); 2] =
+    [("flat", ExecTier::Compiled), ("tree", ExecTier::Reference)];
+
+/// `loop(n) { x = xorshift32(x); acc += x }` — pure local arithmetic
+/// and branch dispatch in the local-SSA style compilers emit, no calls,
+/// no memory: the tree walker's worst case.
+///
+/// Locals: 0 = n (param), 1 = i, 2 = x, 3 = acc, 4 = t.
+fn compute_module() -> Module {
+    let shift = |amount: i32, op: Instr| {
+        vec![
+            // t = x <shift> amount; x = x ^ t
+            Instr::LocalGet(2),
+            Instr::I32Const(amount),
+            op,
+            Instr::LocalSet(4),
+            Instr::LocalGet(2),
+            Instr::LocalGet(4),
+            Instr::I32Xor,
+            Instr::LocalSet(2),
+        ]
+    };
+    let mut body = vec![
+        Instr::LocalGet(1),
+        Instr::LocalGet(0),
+        Instr::I32GeU,
+        Instr::BrIf(1),
+    ];
+    body.extend(shift(13, Instr::I32Shl));
+    body.extend(shift(17, Instr::I32ShrU));
+    body.extend(shift(5, Instr::I32Shl));
+    body.extend([
+        // acc += x
+        Instr::LocalGet(3),
+        Instr::LocalGet(2),
+        Instr::I32Add,
+        Instr::LocalSet(3),
+        // i += 1
+        Instr::LocalGet(1),
+        Instr::I32Const(1),
+        Instr::I32Add,
+        Instr::LocalSet(1),
+        Instr::Br(0),
+    ]);
+    ModuleBuilder::new()
+        .func(
+            FuncType::new([ValType::I32], [ValType::I32]),
+            [ValType::I32; 4],
+            [
+                // x starts at the nonzero xorshift seed.
+                Instr::I32Const(0x9E3779B9u32 as i32),
+                Instr::LocalSet(2),
+                Instr::Block(BlockType::Empty, vec![Instr::Loop(BlockType::Empty, body)]),
+                Instr::LocalGet(3),
+            ],
+        )
+        .export_func("run", 0)
+        .build()
+        .unwrap()
+}
+
+/// Naive recursive fib — every iteration is two wasm->wasm calls, so
+/// this measures frame setup/teardown.
+fn fib_module() -> Module {
+    ModuleBuilder::new()
+        .func(
+            FuncType::new([ValType::I32], [ValType::I32]),
+            [],
+            [
+                Instr::LocalGet(0),
+                Instr::I32Const(2),
+                Instr::I32LtS,
+                Instr::If(
+                    BlockType::Value(ValType::I32),
+                    vec![Instr::LocalGet(0)],
+                    vec![
+                        Instr::LocalGet(0),
+                        Instr::I32Const(1),
+                        Instr::I32Sub,
+                        Instr::Call(0),
+                        Instr::LocalGet(0),
+                        Instr::I32Const(2),
+                        Instr::I32Sub,
+                        Instr::Call(0),
+                        Instr::I32Add,
+                    ],
+                ),
+            ],
+        )
+        .export_func("fib", 0)
+        .build()
+        .unwrap()
+}
+
+/// `loop(n) { mem[i%page] = load(mem[i%page]) + 1 }` — bounds-checked
+/// loads/stores dominate.
+fn memory_module() -> Module {
+    ModuleBuilder::new()
+        .func(
+            FuncType::new([ValType::I32], [ValType::I32]),
+            [ValType::I32, ValType::I32],
+            [
+                Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Loop(
+                        BlockType::Empty,
+                        vec![
+                            Instr::LocalGet(1),
+                            Instr::LocalGet(0),
+                            Instr::I32GeU,
+                            Instr::BrIf(1),
+                            // addr = (i * 4) & 0xFFFC
+                            Instr::LocalGet(1),
+                            Instr::I32Const(4),
+                            Instr::I32Mul,
+                            Instr::I32Const(0xFFFC),
+                            Instr::I32And,
+                            Instr::LocalTee(2),
+                            Instr::LocalGet(2),
+                            Instr::I32Load(MemArg::natural(4)),
+                            Instr::I32Const(1),
+                            Instr::I32Add,
+                            Instr::I32Store(MemArg::natural(4)),
+                            Instr::LocalGet(1),
+                            Instr::I32Const(1),
+                            Instr::I32Add,
+                            Instr::LocalSet(1),
+                            Instr::Br(0),
+                        ],
+                    )],
+                ),
+                Instr::LocalGet(1),
+            ],
+        )
+        .memory(1, Some(1))
+        .export_func("run", 0)
+        .build()
+        .unwrap()
+}
+
+/// `loop(n) { acc = host(acc) }` — measures the wasm->host boundary.
+fn host_module() -> Module {
+    ModuleBuilder::new()
+        .import_func("env", "bump", FuncType::new([ValType::I32], [ValType::I32]))
+        .func(
+            FuncType::new([ValType::I32], [ValType::I32]),
+            [ValType::I32, ValType::I32],
+            [
+                Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Loop(
+                        BlockType::Empty,
+                        vec![
+                            Instr::LocalGet(1),
+                            Instr::LocalGet(0),
+                            Instr::I32GeU,
+                            Instr::BrIf(1),
+                            Instr::LocalGet(2),
+                            Instr::Call(0),
+                            Instr::LocalSet(2),
+                            Instr::LocalGet(1),
+                            Instr::I32Const(1),
+                            Instr::I32Add,
+                            Instr::LocalSet(1),
+                            Instr::Br(0),
+                        ],
+                    )],
+                ),
+                Instr::LocalGet(2),
+            ],
+        )
+        .export_func("run", 1)
+        .build()
+        .unwrap()
+}
+
+fn instantiate(module: &Module, tier: ExecTier, linker: &Linker) -> Instance {
+    Instance::new(
+        module.clone(),
+        linker,
+        EngineLimits::default().with_exec_tier(tier),
+        Box::new(()),
+    )
+    .unwrap()
+}
+
+fn bench_compute(c: &mut Criterion) {
+    let module = compute_module();
+    let n = 10_000;
+    let mut group = c.benchmark_group("compute_loop");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, tier) in TIERS {
+        let mut inst = instantiate(&module, tier, &Linker::new());
+        group.bench_function(name, |b| {
+            b.iter(|| inst.invoke("run", &[Value::I32(black_box(n))]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let module = fib_module();
+    let mut group = c.benchmark_group("fib_calls");
+    for (name, tier) in TIERS {
+        let mut inst = instantiate(&module, tier, &Linker::new());
+        group.bench_function(name, |b| {
+            b.iter(|| inst.invoke("fib", &[Value::I32(black_box(18))]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let module = memory_module();
+    let n = 10_000;
+    let mut group = c.benchmark_group("memory_loop");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, tier) in TIERS {
+        let mut inst = instantiate(&module, tier, &Linker::new());
+        group.bench_function(name, |b| {
+            b.iter(|| inst.invoke("run", &[Value::I32(black_box(n))]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_host_roundtrip(c: &mut Criterion) {
+    let module = host_module();
+    let mut linker = Linker::new();
+    linker.define(
+        "env",
+        "bump",
+        FuncType::new([ValType::I32], [ValType::I32]),
+        |_caller, args| {
+            let x = match args[0] {
+                Value::I32(v) => v,
+                _ => unreachable!(),
+            };
+            Ok(vec![Value::I32(x.wrapping_add(1))])
+        },
+    );
+    let n = 1_000;
+    let mut group = c.benchmark_group("host_roundtrip");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, tier) in TIERS {
+        let mut inst = instantiate(&module, tier, &linker);
+        group.bench_function(name, |b| {
+            b.iter(|| inst.invoke("run", &[Value::I32(black_box(n))]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Instantiation cost. The first `Instance::new` on the compiled tier
+/// pays the one-time lowering; this bench measures the steady state,
+/// where the module's `CodeCache` is already filled and instantiation
+/// must cost the same as the reference tier.
+fn bench_instantiate(c: &mut Criterion) {
+    let module = compute_module();
+    // Warm the code cache so the measurement excludes the first compile.
+    instantiate(&module, ExecTier::Compiled, &Linker::new())
+        .invoke("run", &[Value::I32(1)])
+        .unwrap();
+    let linker = Linker::new();
+    let mut group = c.benchmark_group("instance_new");
+    for (name, tier) in TIERS {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(instantiate(&module, tier, &linker)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compute,
+    bench_fib,
+    bench_memory,
+    bench_host_roundtrip,
+    bench_instantiate
+);
+criterion_main!(benches);

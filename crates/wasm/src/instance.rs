@@ -12,8 +12,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::host::{HostFunc, Linker};
-use crate::interp::Exec;
-use crate::limits::EngineLimits;
+use crate::interp::{Exec, Machine};
+use crate::limits::{EngineLimits, ExecTier};
 use crate::memory::Memory;
 use crate::module::{ExportKind, Module};
 use crate::trap::Trap;
@@ -96,6 +96,8 @@ pub struct Instance {
     limits: EngineLimits,
     fuel: Option<u64>,
     instr_count: u64,
+    /// Reusable value stack + frame arena for the flat tier.
+    machine: Machine,
 }
 
 impl fmt::Debug for Instance {
@@ -176,6 +178,7 @@ impl Instance {
             limits,
             fuel: limits.initial_fuel,
             instr_count: 0,
+            machine: Machine::default(),
         };
 
         if let Some(start) = instance.module.start {
@@ -223,7 +226,13 @@ impl Instance {
             instr_count: &mut self.instr_count,
             max_call_depth: self.limits.max_call_depth,
         };
-        exec.call_function(func_idx, args, 0)
+        match self.limits.exec_tier {
+            ExecTier::Compiled => {
+                let code = Arc::clone(module.code());
+                exec.run_flat(&mut self.machine, &code, func_idx, args)
+            }
+            ExecTier::Reference => exec.call_function(func_idx, args, 0),
+        }
     }
 
     /// The instance's module.

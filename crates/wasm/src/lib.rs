@@ -24,6 +24,10 @@
 //!   checker runs before any instantiation.
 //! * **Metering** — executed-instruction counts and optional fuel, which
 //!   the simulation converts into CPU time.
+//! * **Two execution tiers** ([`ExecTier`]) — function bodies run on flat
+//!   pre-compiled bytecode (cached per module, reusable frame arena) by
+//!   default, with the original tree walker kept as a reference path;
+//!   both are trap-, fuel- and instruction-count-identical.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@
 //! ```
 
 pub mod builder;
+mod compile;
 pub mod decode;
 pub mod encode;
 pub mod host;
@@ -72,7 +77,7 @@ pub use builder::ModuleBuilder;
 pub use host::{Caller, Linker};
 pub use instance::{Instance, InstanceError};
 pub use instr::{BlockType, Instr, MemArg};
-pub use limits::EngineLimits;
+pub use limits::{EngineLimits, ExecTier};
 pub use memory::{Memory, PAGE};
 pub use module::Module;
 pub use trap::Trap;

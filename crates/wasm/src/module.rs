@@ -1,5 +1,9 @@
 //! Module definitions: the validated, executable form of a Wasm binary.
 
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use crate::compile::{compile, CompiledModule};
 use crate::instr::Instr;
 use crate::types::{FuncType, Limits, ValType, Value};
 
@@ -67,6 +71,40 @@ pub struct DataSegment {
     pub bytes: Vec<u8>,
 }
 
+/// Lazily-compiled flat bytecode, shared across clones of a module.
+///
+/// Cloning a `Module` (e.g. handing one to [`crate::Instance::new`])
+/// shares the cell, so the first instantiation compiles once and every
+/// later clone — including the embedder's retained copy — reuses the
+/// result; instantiation pays zero extra cost after the first compile.
+///
+/// The cache is keyed on identity, not content: mutating a module's
+/// function bodies after it has executed is unsupported (all supported
+/// construction paths — [`crate::ModuleBuilder`] and
+/// [`crate::decode::decode`] — produce their final bodies up front).
+#[derive(Default)]
+pub(crate) struct CodeCache(Arc<OnceLock<Arc<CompiledModule>>>);
+
+impl Clone for CodeCache {
+    fn clone(&self) -> Self {
+        CodeCache(Arc::clone(&self.0))
+    }
+}
+
+impl fmt::Debug for CodeCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CodeCache").field("compiled", &self.0.get().is_some()).finish()
+    }
+}
+
+impl PartialEq for CodeCache {
+    /// The cache is derived state; two modules with equal fields are
+    /// equal regardless of which has compiled.
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
 /// A complete WebAssembly module (the decoded/validated form).
 ///
 /// Construct one with [`crate::ModuleBuilder`] or by decoding a binary
@@ -90,9 +128,16 @@ pub struct Module {
     pub data: Vec<DataSegment>,
     /// Optional start function, run at instantiation.
     pub start: Option<u32>,
+    /// Flat-bytecode cache (compiled on first execution).
+    pub(crate) compiled: CodeCache,
 }
 
 impl Module {
+    /// The module's flat bytecode, compiling (once) on first use.
+    pub(crate) fn code(&self) -> &Arc<CompiledModule> {
+        self.compiled.0.get_or_init(|| Arc::new(compile(self)))
+    }
+
     /// Total number of functions in the index space (imports + defined).
     pub fn func_count(&self) -> usize {
         self.imports.len() + self.funcs.len()
@@ -151,7 +196,22 @@ mod tests {
             exports: vec![Export { name: "f".into(), kind: ExportKind::Func(1) }],
             data: vec![],
             start: None,
+            compiled: CodeCache::default(),
         }
+    }
+
+    #[test]
+    fn code_cache_is_shared_across_clones() {
+        let m = tiny_module();
+        let clone = m.clone();
+        // Compiling through the clone fills the original's cell too.
+        let _ = clone.code();
+        assert!(m.compiled.0.get().is_some(), "clones share the compile cache");
+        assert!(Arc::ptr_eq(m.code(), clone.code()));
+        // Equality ignores the cache: a fresh, uncompiled copy still
+        // compares equal (preserves encode/decode round-trip equality).
+        let fresh = tiny_module();
+        assert_eq!(fresh, m);
     }
 
     #[test]

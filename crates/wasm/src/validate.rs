@@ -508,7 +508,9 @@ const F32_: ValType = ValType::F32;
 const F64_: ValType = ValType::F64;
 
 /// Signature of pure numeric instructions (no immediates, no memory).
-fn numeric_sig(i: &Instr) -> Option<(&'static [ValType], &'static [ValType])> {
+/// Shared with [`crate::compile`], whose static height tracking must agree
+/// with the checker's.
+pub(crate) fn numeric_sig(i: &Instr) -> Option<(&'static [ValType], &'static [ValType])> {
     use Instr::*;
     Some(match i {
         // i32 unary / test.
