@@ -31,11 +31,13 @@ use roadrunner_wasm::encode;
 
 use crate::MB;
 
-/// Fixed-capacity (and autoscaler-minimum) active node count.
-const START_NODES: usize = 2;
+/// Fixed-capacity (and autoscaler-minimum) active node count. Shared
+/// with fig14, which drives the same workload through failure
+/// schedules.
+pub(crate) const START_NODES: usize = 2;
 /// Autoscaler ceiling; the testbed always has this many nodes built.
 const MAX_NODES: usize = 6;
-const CORES: u32 = 4;
+pub(crate) const CORES: u32 = 4;
 
 /// Knobs for one fig13 sweep.
 pub struct Fig13Options {
@@ -52,11 +54,11 @@ pub struct Fig13Options {
     pub mode: SweepMode,
 }
 
-fn cluster() -> Arc<Testbed> {
+pub(crate) fn cluster() -> Arc<Testbed> {
     Arc::new(ClusterSpec::homogeneous(MAX_NODES, CORES, 8 << 30).build())
 }
 
-fn spec() -> WorkflowSpec {
+pub(crate) fn spec() -> WorkflowSpec {
     WorkflowSpec::sequence(
         "pipeline",
         "bench",
@@ -89,19 +91,19 @@ fn roadrunner_plane(bed: &Arc<Testbed>) -> RoadrunnerPlane {
     plane
 }
 
-struct SystemUnderLoad {
-    label: &'static str,
-    plane: Box<dyn DataPlane>,
+pub(crate) struct SystemUnderLoad {
+    pub(crate) label: &'static str,
+    pub(crate) plane: Box<dyn DataPlane>,
     /// Uncontended concurrent makespan of one instance (own think-time
     /// and threshold base).
-    solo_ns: Nanos,
+    pub(crate) solo_ns: Nanos,
     /// Fig. 2a-style cold-start cost of one function of this system.
     cold_ns: Nanos,
 }
 
 /// The three systems, co-located, warmed, with their solo makespans
 /// measured on a fresh two-node mesh.
-fn systems(bed: &Arc<Testbed>, payload: &Bytes) -> Vec<SystemUnderLoad> {
+pub(crate) fn systems(bed: &Arc<Testbed>, payload: &Bytes) -> Vec<SystemUnderLoad> {
     let cost = bed.cost();
     let wasm_cold = wasm_cold_ns(cost, PAPER_WASM_HELLO_BYTES);
     let runc_cold = container_cold_ns(cost, CONTAINER_IMAGE_BYTES);
@@ -269,6 +271,7 @@ fn cell_json(system: &str, solo_ns: Nanos, job: &Job, run: &LoadRun) -> String {
                 match e.action {
                     roadrunner_platform::ScaleAction::Up => "up",
                     roadrunner_platform::ScaleAction::Down => "down",
+                    roadrunner_platform::ScaleAction::Replace => "replace",
                 },
                 e.nodes_after,
             )

@@ -14,6 +14,7 @@
 
 pub mod fig12;
 pub mod fig13;
+pub mod fig14;
 
 use std::sync::Arc;
 

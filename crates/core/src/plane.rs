@@ -83,7 +83,6 @@ struct FunctionEntry {
 pub struct RoadrunnerPlane {
     testbed: Arc<Testbed>,
     shims: Vec<Shim>,
-    shim_node: Vec<usize>,
     functions: HashMap<String, FunctionEntry>,
     unix_links: HashMap<(usize, usize), (UnixEndpoint, UnixEndpoint)>,
     tcp_links: HashMap<(usize, usize), (TcpEndpoint, TcpEndpoint)>,
@@ -106,7 +105,6 @@ impl RoadrunnerPlane {
         Self {
             testbed,
             shims: Vec::new(),
-            shim_node: Vec::new(),
             functions: HashMap::new(),
             unix_links: HashMap::new(),
             tcp_links: HashMap::new(),
@@ -134,7 +132,6 @@ impl RoadrunnerPlane {
         shim.load_module(function, bundle)?;
         let shim_idx = self.shims.len();
         self.shims.push(shim);
-        self.shim_node.push(node);
         self.functions.insert(
             function.to_owned(),
             FunctionEntry {
@@ -194,11 +191,31 @@ impl RoadrunnerPlane {
     ///
     /// [`RoadrunnerError::UnknownModule`] for undeployed functions.
     pub fn mode_of(&self, from: &str, to: &str) -> Result<Mode, RoadrunnerError> {
+        self.mode_of_placed(from, to, None, None)
+    }
+
+    /// The mode an edge will use for an **instance** whose scheduler
+    /// placed the endpoints on `src_node` / `dst_node` (`None` falls
+    /// back to the deployment node). Functions sharing one Wasm VM stay
+    /// user-space — a VM is indivisible — but sandboxed functions take
+    /// the mode their *instance* placement implies, not the one the
+    /// deployment's static colocation would suggest.
+    ///
+    /// # Errors
+    ///
+    /// [`RoadrunnerError::UnknownModule`] for undeployed functions.
+    pub fn mode_of_placed(
+        &self,
+        from: &str,
+        to: &str,
+        src_node: Option<usize>,
+        dst_node: Option<usize>,
+    ) -> Result<Mode, RoadrunnerError> {
         let a = self.entry(from)?;
         let b = self.entry(to)?;
         Ok(if a.shim_idx == b.shim_idx {
             Mode::UserSpace
-        } else if a.node == b.node {
+        } else if src_node.unwrap_or(a.node) == dst_node.unwrap_or(b.node) {
             Mode::KernelSpace
         } else {
             Mode::Network
@@ -225,11 +242,13 @@ impl RoadrunnerPlane {
         (key.0, key.1)
     }
 
-    fn tcp_pair(&mut self, a: usize, b: usize) {
+    /// Ensures a TCP connection exists between the two shims. A fresh
+    /// connection is established over the link joining `node_a` and
+    /// `node_b` (the effective nodes of the edge that first needed it);
+    /// an existing shim-pair connection is reused as-is.
+    fn tcp_pair(&mut self, a: usize, b: usize, node_a: usize, node_b: usize) {
         let key = if a < b { (a, b) } else { (b, a) };
         if !self.tcp_links.contains_key(&key) {
-            let node_a = self.shim_node[key.0];
-            let node_b = self.shim_node[key.1];
             let link = Arc::clone(self.testbed.link_between(node_a, node_b));
             let sandbox = self.shims[key.0].sandbox().clone();
             let pair = TcpConn::establish(&sandbox, link);
@@ -295,7 +314,28 @@ impl RoadrunnerPlane {
         to: &str,
         payload: &Bytes,
     ) -> Result<Bytes, RoadrunnerError> {
-        let mode = self.mode_of(from, to)?;
+        self.transfer_edge_placed(from, to, payload, None, None)
+    }
+
+    /// [`transfer_edge`](Self::transfer_edge) for an instance whose
+    /// scheduler overrode the endpoints' nodes: the mode — and, for a
+    /// first network transfer, the link the connection is established
+    /// over — follow the *effective* placement.
+    ///
+    /// # Errors
+    ///
+    /// Any shim/kernel error from the underlying mode.
+    pub fn transfer_edge_placed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: &Bytes,
+        src_node: Option<usize>,
+        dst_node: Option<usize>,
+    ) -> Result<Bytes, RoadrunnerError> {
+        let mode = self.mode_of_placed(from, to, src_node, dst_node)?;
+        let eff_src = src_node.unwrap_or(self.entry(from)?.node);
+        let eff_dst = dst_node.unwrap_or(self.entry(to)?.node);
         let clock = self.testbed.clock().clone();
 
         // Preparation: if the source holds no pending outbox (workflow
@@ -331,7 +371,7 @@ impl RoadrunnerPlane {
                 kernelspace::recv(&mut self.shims[to_shim], to, &recv_ep)?
             }
             Mode::Network => {
-                self.tcp_pair(from_shim, to_shim);
+                self.tcp_pair(from_shim, to_shim, eff_src, eff_dst);
                 let key = if from_shim < to_shim {
                     (from_shim, to_shim)
                 } else {
@@ -389,6 +429,25 @@ impl DataPlane for RoadrunnerPlane {
         payload: Bytes,
     ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
         let received = self.transfer_edge(from, to, &payload).map_err(PlatformError::from)?;
+        let timing = self.last_breakdown.map(|bd| TransferTiming {
+            prepare_ns: bd.prepare_ns,
+            transfer_ns: bd.transfer_ns,
+            consume_ns: bd.consume_ns,
+        });
+        Ok((received, timing))
+    }
+
+    fn transfer_placed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+        src_node: Option<usize>,
+        dst_node: Option<usize>,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        let received = self
+            .transfer_edge_placed(from, to, &payload, src_node, dst_node)
+            .map_err(PlatformError::from)?;
         let timing = self.last_breakdown.map(|bd| TransferTiming {
             prepare_ns: bd.prepare_ns,
             transfer_ns: bd.transfer_ns,
@@ -474,6 +533,51 @@ mod tests {
         assert_eq!(bd.mode, Mode::Network);
         // Wire time must appear in the transfer phase.
         assert!(bd.transfer_ns >= p.testbed.wan().wire_ns(300_000));
+    }
+
+    #[test]
+    fn placement_overrides_flip_the_mode_with_the_instance() {
+        // Regression: two functions deployed colocated on node 0, but the
+        // instance's scheduler separated them — the edge must go over the
+        // network, not the deployment's Unix socket. (The plane used to
+        // consult only the static deployment node.)
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        p.deploy(0, "b", bundle("b", guest::consumer()), "consume", true).unwrap();
+        assert_eq!(p.mode_of("a", "b").unwrap(), Mode::KernelSpace);
+        assert_eq!(
+            p.mode_of_placed("a", "b", Some(0), Some(1)).unwrap(),
+            Mode::Network
+        );
+        // And the converse: deployment-separated functions whose instance
+        // landed together use the kernel-space path.
+        p.deploy(1, "c", bundle("c", guest::consumer()), "consume", true).unwrap();
+        assert_eq!(p.mode_of("a", "c").unwrap(), Mode::Network);
+        assert_eq!(
+            p.mode_of_placed("a", "c", Some(1), Some(1)).unwrap(),
+            Mode::KernelSpace
+        );
+
+        let payload = Bytes::from(vec![0x5Au8; 120_000]);
+        let received = p.transfer_edge_placed("a", "b", &payload, Some(0), Some(1)).unwrap();
+        assert_eq!(&received[..], &payload[..]);
+        let bd = p.last_breakdown().unwrap();
+        assert_eq!(bd.mode, Mode::Network);
+        // Wire time over the 0–1 link shows up in the transfer phase.
+        assert!(bd.transfer_ns >= p.testbed.wan().wire_ns(120_000));
+    }
+
+    #[test]
+    fn shared_vm_functions_stay_user_space_under_any_override() {
+        let mut p = plane();
+        p.deploy(0, "a", bundle("a", guest::producer()), "produce", false).unwrap();
+        p.deploy_into_shared_vm("a", "b", bundle("b", guest::consumer()), "consume", true)
+            .unwrap();
+        // A VM is indivisible: overrides cannot split it.
+        assert_eq!(
+            p.mode_of_placed("a", "b", Some(0), Some(1)).unwrap(),
+            Mode::UserSpace
+        );
     }
 
     #[test]

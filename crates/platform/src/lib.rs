@@ -77,8 +77,8 @@ pub use dag::WorkflowDag;
 pub use deploy::{DeployedFunction, Deployment};
 pub use error::PlatformError;
 pub use loadgen::{
-    ArrivalProcess, Autoscaler, AutoscalerConfig, ClosedLoop, InstanceOutcome, LoadRun, OpenLoop,
-    Placed, ScaleAction, ScaleEvent,
+    ArrivalProcess, Autoscaler, AutoscalerConfig, ClosedLoop, FailurePlan, InstanceOutcome,
+    LoadRun, NodeKill, OpenLoop, Placed, ScaleAction, ScaleEvent,
 };
 pub use metrics::{
     percentiles, percentiles_sorted, replicate, MetricsCollector, P2Quantile, PercentileSummary,
@@ -94,7 +94,7 @@ pub use sweep::{
     available_workers, parallel_map, run_jobs, sweep, SweepGrid, SweepMode, SweepPoint,
 };
 pub use workflow::{
-    critical_path_ns, execute, execute_compiled, execute_compiled_at, execute_concurrent,
-    execute_concurrent_at, CompiledWorkflow, DataPlane, EdgeResult, TransferTiming, WorkflowRun,
-    WorkflowSpec,
+    critical_path_ns, execute, execute_compiled, execute_compiled_at, execute_compiled_faulty_at,
+    execute_concurrent, execute_concurrent_at, CompiledWorkflow, DataPlane, EdgeFailure,
+    EdgeResult, FaultyOutcome, RetryPolicy, TransferTiming, WorkflowRun, WorkflowSpec,
 };

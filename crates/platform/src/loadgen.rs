@@ -7,7 +7,8 @@
 //! live [`ResourceView`] snapshot, asks the [`PlacementPolicy`] where the
 //! instance goes, charges an optional cold start for functions landing on
 //! a node for the first time, and executes the instance at its release
-//! time via [`execute_compiled_at`] (the spec is compiled **once per
+//! time via [`execute_compiled_at`](crate::workflow::execute_compiled_at)
+//! (the spec is compiled **once per
 //! run**, not once per arrival) — so every in-flight instance
 //! contends for the same per-node core lanes and per-pair links in
 //! virtual time. Completion events close the loop: they gate the next
@@ -32,15 +33,18 @@
 //! grows/shrinks the active node set through the resizable
 //! [`SchedResources`] — capacity changes mid-run, between instances.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use roadrunner_vkernel::sched::{EventQueue, ResourceView, SchedResources};
-use roadrunner_vkernel::{Nanos, VirtualClock};
+use roadrunner_vkernel::{Nanos, OutageSchedule, VirtualClock};
 
 use crate::error::PlatformError;
 use crate::metrics::{percentiles_sorted, PercentileSummary, StreamingPercentiles};
 use crate::scheduler::PlacementPolicy;
 use crate::workflow::{
-    execute_compiled_at, CompiledWorkflow, DataPlane, TransferTiming, WorkflowSpec,
+    run_compiled_at, CompiledWorkflow, DataPlane, FaultyOutcome, RetryPolicy, TransferTiming,
+    WorkflowSpec,
 };
 
 /// The inter-arrival process of an open-loop workload.
@@ -167,7 +171,7 @@ fn assigned_placement(
 
 impl DataPlane for Placed<'_> {
     fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
-        self.inner.transfer(from, to, payload)
+        self.transfer_detailed(from, to, payload).map(|(received, _)| received)
     }
 
     fn transfer_detailed(
@@ -176,11 +180,34 @@ impl DataPlane for Placed<'_> {
         to: &str,
         payload: Bytes,
     ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
-        self.inner.transfer_detailed(from, to, payload)
+        // Route through the placement-aware seam so the wrapped plane
+        // derives the edge's transfer mode from the *instance's*
+        // placement, not the deployment's static colocation. Planes
+        // without placement-sensitive modes ignore the overrides.
+        let src = self.placement(from);
+        let dst = self.placement(to);
+        self.inner.transfer_placed(from, to, payload, src, dst)
+    }
+
+    fn transfer_placed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+        src_node: Option<usize>,
+        dst_node: Option<usize>,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        let src = src_node.or_else(|| self.placement(from));
+        let dst = dst_node.or_else(|| self.placement(to));
+        self.inner.transfer_placed(from, to, payload, src, dst)
     }
 
     fn placement(&self, function: &str) -> Option<usize> {
         assigned_placement(&self.names, &self.nodes, self.inner, function)
+    }
+
+    fn set_health_epoch(&mut self, epoch: u64) {
+        self.inner.set_health_epoch(epoch);
     }
 }
 
@@ -195,7 +222,7 @@ struct InstancePlane<'a, 'b> {
 
 impl DataPlane for InstancePlane<'_, '_> {
     fn transfer(&mut self, from: &str, to: &str, payload: Bytes) -> Result<Bytes, PlatformError> {
-        self.inner.transfer(from, to, payload)
+        self.transfer_detailed(from, to, payload).map(|(received, _)| received)
     }
 
     fn transfer_detailed(
@@ -204,11 +231,90 @@ impl DataPlane for InstancePlane<'_, '_> {
         to: &str,
         payload: Bytes,
     ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
-        self.inner.transfer_detailed(from, to, payload)
+        // Same placement-aware routing as [`Placed`]: the instance's
+        // assignment decides the mode, not the deployment's.
+        let src = self.placement(from);
+        let dst = self.placement(to);
+        self.inner.transfer_placed(from, to, payload, src, dst)
     }
 
     fn placement(&self, function: &str) -> Option<usize> {
         assigned_placement(self.names, self.nodes, self.inner, function)
+    }
+}
+
+/// A node kill in a [`FailurePlan`]: the node (by **stable id**, so the
+/// schedule survives index reshuffling as the cluster resizes) dies at
+/// `at_ns` and the control plane notices — and removes it from the
+/// schedule — `detect_ns` later. Between those instants, instances
+/// placed onto the dying node fail after exhausting their retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeKill {
+    /// Stable node id ([`SchedResources::node_id`]).
+    pub node_id: u64,
+    /// Virtual instant the node dies (its outage window opens here).
+    pub at_ns: Nanos,
+    /// Detection delay before the dead node is removed from the
+    /// resource schedule and its un-started backlog migrates.
+    pub detect_ns: Nanos,
+}
+
+/// Everything the load engine needs to make a run fallible: an outage
+/// schedule for link flaps and node down-windows, a list of node kills
+/// (permanent outages with control-plane removal), and the retry policy
+/// the workflow engine drives edges with.
+///
+/// An empty plan (`FailurePlan::new(..)` with nothing added) leaves the
+/// engine byte-identical to a failure-free run.
+#[derive(Debug, Clone)]
+pub struct FailurePlan {
+    outages: OutageSchedule,
+    kills: Vec<NodeKill>,
+    retry: RetryPolicy,
+}
+
+impl FailurePlan {
+    /// A plan with no outages yet, retrying per `retry`.
+    pub fn new(retry: RetryPolicy) -> Self {
+        Self { outages: OutageSchedule::new(), kills: Vec::new(), retry }
+    }
+
+    /// Adds a whole outage schedule (link flaps, transient node
+    /// windows) on top of whatever the plan already holds.
+    #[must_use]
+    pub fn with_outages(mut self, outages: OutageSchedule) -> Self {
+        self.outages = self.outages.merged_with(outages);
+        self
+    }
+
+    /// Kills the node with stable id `node_id` at `at_ns`: its outage
+    /// window opens immediately (transfers touching it start failing)
+    /// and the engine removes it from the schedule `detect_ns` later.
+    #[must_use]
+    pub fn kill_node(mut self, node_id: u64, at_ns: Nanos, detect_ns: Nanos) -> Self {
+        self.outages = self.outages.node_killed(node_id, at_ns);
+        self.kills.push(NodeKill { node_id, at_ns, detect_ns });
+        self
+    }
+
+    /// The outage schedule (kills included as never-ending windows).
+    pub fn outages(&self) -> &OutageSchedule {
+        &self.outages
+    }
+
+    /// The node kills, in insertion order.
+    pub fn kills(&self) -> &[NodeKill] {
+        &self.kills
+    }
+
+    /// The retry policy edges run under.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty() && self.kills.is_empty()
     }
 }
 
@@ -228,10 +334,17 @@ pub struct InstanceOutcome {
     /// When the instance's last edge finished.
     pub finish_ns: Nanos,
     /// Sojourn time: `finish_ns - release_ns` (cold start + queueing +
-    /// service).
+    /// service). For a failed instance this is time-in-system until the
+    /// engine gave up.
     pub sojourn_ns: Nanos,
     /// The nodes the policy assigned, indexed by DAG node.
     pub assignment: Vec<usize>,
+    /// Whether the instance failed (an edge exhausted its retry budget
+    /// under the run's [`FailurePlan`]). Always `false` without one.
+    pub failed: bool,
+    /// Failed edge attempts the instance absorbed (0 when every edge
+    /// succeeded first try).
+    pub retries: u32,
 }
 
 /// One autoscaler decision, for the scale-event trace the elastic
@@ -255,6 +368,12 @@ pub enum ScaleAction {
     Up,
     /// The last node was removed.
     Down,
+    /// A node was added to replace capacity lost outside the
+    /// controller's own decisions (a dead node the control plane
+    /// removed). Replacement bypasses the decision cooldown — waiting a
+    /// full window to restore known-lost capacity only deepens the
+    /// backlog.
+    Replace,
 }
 
 /// Aggregate result of one load-generation run (open- or closed-loop).
@@ -288,6 +407,13 @@ pub struct LoadRun {
     pub scale_events: Vec<ScaleEvent>,
     /// Active node count when the run ended.
     pub final_nodes: usize,
+    /// Instances that failed after exhausting their retries (0 without
+    /// a [`FailurePlan`]). Conservation: `outcomes.len()` admitted ==
+    /// completed + `failed`.
+    pub failed: usize,
+    /// Failed edge attempts absorbed across all instances, completed
+    /// ones included.
+    pub retries: u64,
     /// Lazily sorted sojourn sample, so repeated percentile queries below
     /// the streaming threshold sort the run once instead of per call.
     /// Filled on the first [`sojourn_percentiles`](Self::sojourn_percentiles)
@@ -311,13 +437,24 @@ impl LoadRun {
     /// `f64::INFINITY` — so `0.0` always means "no throughput", never
     /// "instant throughput".
     pub fn throughput_rps(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        if self.completed() == 0 {
             return 0.0;
         }
         if self.horizon_ns == 0 {
             return f64::INFINITY;
         }
-        self.outcomes.len() as f64 * 1e9 / self.horizon_ns as f64
+        self.completed() as f64 * 1e9 / self.horizon_ns as f64
+    }
+
+    /// Instances that completed (admitted minus failed-after-retries).
+    pub fn completed(&self) -> usize {
+        self.outcomes.len() - self.failed
+    }
+
+    /// Instances that completed only after absorbing at least one
+    /// retry.
+    pub fn retried(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.failed && o.retries > 0).count()
     }
 
     /// Sojourn-time percentile digest; `None` for an empty run. Uses the
@@ -327,16 +464,23 @@ impl LoadRun {
     /// sorted sample in the run, so the second and later queries are
     /// rank lookups, not fresh sorts.
     pub fn sojourn_percentiles(&self) -> Option<PercentileSummary> {
-        if self.outcomes.len() >= STREAMING_DIGEST_MIN {
+        // Failed instances never delivered: their time-in-system is not
+        // a sojourn, so the digest covers completed instances only
+        // (everything, in a run without failures).
+        if self.completed() >= STREAMING_DIGEST_MIN {
             let mut digest = StreamingPercentiles::new();
-            for o in &self.outcomes {
+            for o in self.outcomes.iter().filter(|o| !o.failed) {
                 digest.record(o.sojourn_ns);
             }
             digest.summary()
         } else {
             let sorted = self.sorted_sojourns.get_or_init(|| {
-                let mut sojourns: Vec<Nanos> =
-                    self.outcomes.iter().map(|o| o.sojourn_ns).collect();
+                let mut sojourns: Vec<Nanos> = self
+                    .outcomes
+                    .iter()
+                    .filter(|o| !o.failed)
+                    .map(|o| o.sojourn_ns)
+                    .collect();
                 sojourns.sort_unstable();
                 sojourns
             });
@@ -417,24 +561,43 @@ impl OpenLoop {
         policy: &mut dyn PlacementPolicy,
         autoscaler: Option<&mut Autoscaler>,
     ) -> Result<LoadRun, PlatformError> {
-        let mut run = drive(
+        self.run_with_failures(plane, clock, resources, policy, autoscaler, None)
+    }
+
+    /// [`run_elastic`](Self::run_elastic) under a [`FailurePlan`]:
+    /// outages reject reservations, edges retry with backoff, dead
+    /// nodes are removed (and, with an autoscaler, replaced). With
+    /// `None` — or an empty plan — the run is byte-identical to
+    /// [`run_elastic`](Self::run_elastic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or non-fault transfer error;
+    /// outage-induced failures become failed outcomes, not errors.
+    pub fn run_with_failures(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+        autoscaler: Option<&mut Autoscaler>,
+        failures: Option<&FailurePlan>,
+    ) -> Result<LoadRun, PlatformError> {
+        drive(
             &self.spec,
             &self.payload,
-            Admission::Open { releases: self.arrivals.times(self.instances) },
+            Admission::Open {
+                releases: self.arrivals.times(self.instances),
+                mean_interval_ns: self.arrivals.mean_interval_ns(),
+            },
             self.cold_start_ns,
             plane,
             clock,
             resources,
             policy,
             autoscaler,
-        )?;
-        // Empty-run contract: a run that admits nothing offers nothing.
-        run.offered_rps = if self.instances == 0 {
-            0.0
-        } else {
-            1e9 / self.arrivals.mean_interval_ns().max(1) as f64
-        };
-        Ok(run)
+            failures,
+        )
     }
 }
 
@@ -500,8 +663,28 @@ impl ClosedLoop {
         policy: &mut dyn PlacementPolicy,
         autoscaler: Option<&mut Autoscaler>,
     ) -> Result<LoadRun, PlatformError> {
+        self.run_with_failures(plane, clock, resources, policy, autoscaler, None)
+    }
+
+    /// [`run_elastic`](Self::run_elastic) under a [`FailurePlan`] (see
+    /// [`OpenLoop::run_with_failures`]). Failed instances still re-arm
+    /// their virtual user — a closed-loop client retries elsewhere
+    /// after an error page, it does not stop existing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or non-fault transfer error.
+    pub fn run_with_failures(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+        autoscaler: Option<&mut Autoscaler>,
+        failures: Option<&FailurePlan>,
+    ) -> Result<LoadRun, PlatformError> {
         assert!(self.users > 0, "a closed loop needs at least one user");
-        let mut run = drive(
+        drive(
             &self.spec,
             &self.payload,
             Admission::Closed {
@@ -516,26 +699,27 @@ impl ClosedLoop {
             resources,
             policy,
             autoscaler,
-        )?;
-        // A closed loop offers exactly what it completes.
-        run.offered_rps = run.throughput_rps();
-        Ok(run)
+            failures,
+        )
     }
 }
 
 /// How the engine admits instances.
 enum Admission {
     /// Pre-scheduled arrival times (instance k = user k).
-    Open { releases: Vec<Nanos> },
+    Open { releases: Vec<Nanos>, mean_interval_ns: Nanos },
     /// `users` slots seeded `ramp_ns` apart, each re-arming `think_ns`
     /// after its completion, until `instances` total have been admitted.
     Closed { users: usize, think_ns: Nanos, ramp_ns: Nanos, instances: usize },
 }
 
-/// Engine events: an instance arriving for admission, or one completing.
+/// Engine events: an instance arriving for admission, one completing
+/// (or failing — failed instances re-arm their closed-loop user too),
+/// or the control plane removing a node it detected dead.
 enum LoadEvent {
     Arrival { user: usize },
     Completion { user: usize },
+    NodeKill { node_id: u64 },
 }
 
 /// The shared completion-event engine behind [`OpenLoop`] and
@@ -547,7 +731,7 @@ enum LoadEvent {
 /// closed-loop user. The autoscaler (when present) observes at *every*
 /// event, so it sees both pressure building (arrivals) and draining
 /// (completions).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn drive(
     spec: &WorkflowSpec,
     payload: &Bytes,
@@ -558,9 +742,22 @@ fn drive(
     resources: &mut SchedResources,
     policy: &mut dyn PlacementPolicy,
     mut autoscaler: Option<&mut Autoscaler>,
+    failures: Option<&FailurePlan>,
 ) -> Result<LoadRun, PlatformError> {
     let (cpu0, _) = resources.cpu_reserved();
     let (link0, _) = resources.link_reserved();
+
+    // Arm the failure plan: attach the outage schedule (timelines start
+    // rejecting reservations inside down windows) and note the retry
+    // policy the fault-aware engine drives edges with. `None` keeps
+    // every `try_reserve_*` on the plain-reservation path.
+    let faults: Option<&RetryPolicy> = match failures {
+        Some(plan) => {
+            resources.set_outages(Arc::new(plan.outages().clone()));
+            Some(plan.retry())
+        }
+        None => None,
+    };
 
     // Per-run precomputation: validate/topo-sort the spec once for every
     // instance (the compiled form), and intern the function-name list the
@@ -572,10 +769,20 @@ fn drive(
     let mut view = ResourceView::default();
 
     let mut queue: EventQueue<LoadEvent> = EventQueue::new();
+    // Kill-removal events go in before any arrival, so at equal times
+    // the control plane acts first (FIFO among equals).
+    if let Some(plan) = failures {
+        for kill in plan.kills() {
+            queue.push(
+                kill.at_ns.saturating_add(kill.detect_ns),
+                LoadEvent::NodeKill { node_id: kill.node_id },
+            );
+        }
+    }
     // Closed-loop admission bookkeeping: how many instances have been
     // admitted so far, against the total bound.
     let (mut admitted, instance_bound, think_ns) = match &admission {
-        Admission::Open { releases } => {
+        Admission::Open { releases, .. } => {
             for (user, &at) in releases.iter().enumerate() {
                 queue.push(at, LoadEvent::Arrival { user });
             }
@@ -590,6 +797,11 @@ fn drive(
         }
     };
     let mut outcomes: Vec<InstanceOutcome> = Vec::new();
+    let mut failed_count: usize = 0;
+    let mut total_retries: u64 = 0;
+    // Link-health epoch last pushed into the plane (see the memo): only
+    // transitions move it, so a failure-free run never calls the hook.
+    let mut last_epoch: u64 = 0;
     // Warm set for cold-start admission: (function index, node).
     let mut warm: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     let mut known_nodes = resources.node_count();
@@ -612,6 +824,13 @@ fn drive(
             link_lane_ns += dt * link_lanes as u128;
         }
         prev_event_ns = Some(now);
+        if let Some(plan) = failures {
+            let epoch = plan.outages().transitions_until(now);
+            if epoch != last_epoch {
+                plane.set_health_epoch(epoch);
+                last_epoch = epoch;
+            }
+        }
         let observed = match autoscaler.as_deref_mut() {
             Some(scaler) => {
                 scaler.observe_into(now, resources, &mut view);
@@ -651,16 +870,28 @@ fn drive(
                 }
                 let mut placed =
                     InstancePlane { inner: plane, names: &fn_names, nodes: &assignment };
-                let run = execute_compiled_at(
+                let outcome = run_compiled_at(
                     &mut placed,
                     clock,
                     &compiled,
                     payload.clone(),
                     resources,
                     release,
+                    faults,
                 )?;
-                let finish = release + run.total_latency_ns;
                 let instance = outcomes.len();
+                let (finish, failed, retries) = match outcome {
+                    FaultyOutcome::Completed { run, retries } => {
+                        (release + run.total_latency_ns, false, retries)
+                    }
+                    // Failed instances still produce a completion event:
+                    // the closed-loop user saw an error and re-arms.
+                    FaultyOutcome::Failed { failure, retries } => {
+                        failed_count += 1;
+                        (failure.failed_at_ns.max(release), true, retries)
+                    }
+                };
+                total_retries += u64::from(retries);
                 outcomes.push(InstanceOutcome {
                     instance,
                     user,
@@ -669,6 +900,8 @@ fn drive(
                     finish_ns: finish,
                     sojourn_ns: finish - now,
                     assignment,
+                    failed,
+                    retries,
                 });
                 queue.push(finish, LoadEvent::Completion { user });
             }
@@ -679,6 +912,31 @@ fn drive(
                 if matches!(admission, Admission::Closed { .. }) && admitted < instance_bound {
                     admitted += 1;
                     queue.push(now + think_ns, LoadEvent::Arrival { user });
+                }
+            }
+            LoadEvent::NodeKill { node_id } => {
+                // The control plane removes the dead node: un-started
+                // backlog migrates to survivors, the mesh shrinks, and
+                // everything warmed on the victim dies with it
+                // (survivors above the victim shift down one index).
+                // A one-node cluster keeps its dead node in the
+                // schedule — there is nowhere to migrate to, and the
+                // outage window already fails every placement.
+                if let Some(victim) = resources.node_index_of(node_id) {
+                    if resources.node_count() > 1 {
+                        resources.remove_node(victim, now);
+                        warm = warm
+                            .iter()
+                            .filter_map(|&(fi, n)| match n.cmp(&victim) {
+                                std::cmp::Ordering::Less => Some((fi, n)),
+                                std::cmp::Ordering::Equal => None,
+                                std::cmp::Ordering::Greater => Some((fi, n - 1)),
+                            })
+                            .collect();
+                        cpu_lanes = resources.cpu_lanes();
+                        link_lanes = resources.link_lanes();
+                        known_nodes = resources.node_count();
+                    }
                 }
             }
         }
@@ -696,16 +954,38 @@ fn drive(
             used as f64 / lane_ns as f64
         }
     };
-    Ok(LoadRun {
+    // Offered load is a property of the admission process, so the engine
+    // computes it (the drivers used to fill it in post hoc, which left a
+    // 0.0 sentinel on any path that forgot). An empty run offers nothing
+    // — 0.0, never NaN.
+    let offered_rps = match &admission {
+        Admission::Open { releases, mean_interval_ns } => {
+            if releases.is_empty() {
+                0.0
+            } else {
+                1e9 / (*mean_interval_ns).max(1) as f64
+            }
+        }
+        Admission::Closed { .. } => 0.0, // filled from the measured rate below
+    };
+    let mut run = LoadRun {
         outcomes,
         horizon_ns,
-        offered_rps: 0.0, // the drivers fill this in
+        failed: failed_count,
+        retries: total_retries,
+        offered_rps,
         cpu_utilization: util(cpu1 - cpu0, cpu_lane_ns),
         link_utilization: util(link1 - link0, link_lane_ns),
         scale_events: autoscaler.map(|a| a.events().to_vec()).unwrap_or_default(),
         final_nodes: resources.node_count(),
         sorted_sojourns: std::sync::OnceLock::new(),
-    })
+    };
+    // A closed loop offers exactly what it completes: each user admits
+    // its next instance only after the previous one finishes.
+    if matches!(admission, Admission::Closed { .. }) {
+        run.offered_rps = run.throughput_rps();
+    }
+    Ok(run)
 }
 
 /// Configuration of the backlog-driven [`Autoscaler`].
@@ -749,6 +1029,11 @@ pub struct Autoscaler {
     window: Vec<(Nanos, Nanos)>,
     last_decision_ns: Nanos,
     events: Vec<ScaleEvent>,
+    /// The node count this controller last decided the cluster should
+    /// have (seeded from the first observation). A live count *below*
+    /// it means capacity was lost outside the controller — a killed
+    /// node — and triggers replacement.
+    expected_nodes: Option<usize>,
 }
 
 impl Autoscaler {
@@ -762,7 +1047,13 @@ impl Autoscaler {
         assert!(cfg.min_nodes > 0, "the cluster cannot shrink to zero nodes");
         assert!(cfg.min_nodes <= cfg.max_nodes, "min_nodes must not exceed max_nodes");
         assert!(cfg.window_ns > 0, "a zero observation window would decide on every event");
-        Self { cfg, window: Vec::new(), last_decision_ns: 0, events: Vec::new() }
+        Self {
+            cfg,
+            window: Vec::new(),
+            last_decision_ns: 0,
+            events: Vec::new(),
+            expected_nodes: None,
+        }
     }
 
     /// The configuration.
@@ -781,6 +1072,7 @@ impl Autoscaler {
         self.window.clear();
         self.last_decision_ns = 0;
         self.events.clear();
+        self.expected_nodes = None;
     }
 
     /// One observation at virtual time `now`: record the live backlog
@@ -808,6 +1100,26 @@ impl Autoscaler {
         view: &mut ResourceView,
     ) {
         resources.view_into(now, view);
+        // Capacity-loss detection first: a live node count below what
+        // this controller last decided (seeded from the first
+        // observation) means something *outside* it — a kill — removed
+        // capacity. Replacement bypasses the backlog cooldown: a dead
+        // node is not a noisy signal to be smoothed, so `last_decision_ns`
+        // stays put and a pending backlog decision is not delayed.
+        let live = resources.node_count();
+        let expected = (*self.expected_nodes.get_or_insert(live)).min(self.cfg.max_nodes);
+        if live < expected {
+            for replaced in live..expected {
+                resources.add_node(self.cfg.node_cores);
+                self.events.push(ScaleEvent {
+                    at_ns: now,
+                    action: ScaleAction::Replace,
+                    nodes_after: replaced + 1,
+                    signal_ns: 0,
+                });
+            }
+            resources.view_into(now, view);
+        }
         self.window.push((now, view.mean_backlog_ns()));
         let cutoff = now.saturating_sub(self.cfg.window_ns);
         self.window.retain(|&(t, _)| t >= cutoff);
@@ -825,6 +1137,7 @@ impl Autoscaler {
                 nodes_after: nodes + 1,
                 signal_ns: signal,
             });
+            self.expected_nodes = Some(nodes + 1);
             self.last_decision_ns = now;
         } else if signal < self.cfg.scale_down_backlog_ns
             && nodes > self.cfg.min_nodes
@@ -841,6 +1154,7 @@ impl Autoscaler {
                 nodes_after: nodes - 1,
                 signal_ns: signal,
             });
+            self.expected_nodes = Some(nodes - 1);
             self.last_decision_ns = now;
         } else {
             return;
@@ -852,7 +1166,7 @@ impl Autoscaler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::{LocalityFirst, SpreadLoad};
+    use crate::scheduler::{LocalityFirst, Pinned, SpreadLoad};
     use crate::workflow::execute_concurrent;
 
     /// A plane charging fixed phase costs, payload-independent, so
@@ -1364,5 +1678,217 @@ mod tests {
         }
         assert!(run.scale_events.is_empty());
         assert_eq!(run.final_nodes, 2);
+    }
+
+    #[test]
+    fn an_empty_failure_plan_is_byte_identical_to_a_failure_free_run() {
+        let baseline = {
+            let clock = VirtualClock::new();
+            let mut plane = FixedPlane::new(clock.clone());
+            let mut res = SchedResources::new(2, 4);
+            let mut policy = SpreadLoad::new();
+            open(pipeline_spec(), 700, 9).run(&mut plane, &clock, &mut res, &mut policy).unwrap()
+        };
+        let faulty = {
+            let clock = VirtualClock::new();
+            let mut plane = FixedPlane::new(clock.clone());
+            let mut res = SchedResources::new(2, 4);
+            let mut policy = SpreadLoad::new();
+            let plan = FailurePlan::new(RetryPolicy::default());
+            assert!(plan.is_empty());
+            open(pipeline_spec(), 700, 9)
+                .run_with_failures(&mut plane, &clock, &mut res, &mut policy, None, Some(&plan))
+                .unwrap()
+        };
+        assert_eq!(baseline.outcomes.len(), faulty.outcomes.len());
+        for (a, b) in baseline.outcomes.iter().zip(&faulty.outcomes) {
+            assert_eq!(
+                (a.release_ns, a.finish_ns, a.sojourn_ns, &a.assignment),
+                (b.release_ns, b.finish_ns, b.sojourn_ns, &b.assignment),
+            );
+            assert!(!b.failed);
+            assert_eq!(b.retries, 0);
+        }
+        assert_eq!(baseline.offered_rps, faulty.offered_rps);
+        assert_eq!(baseline.cpu_utilization, faulty.cpu_utilization);
+        assert_eq!(baseline.link_utilization, faulty.link_utilization);
+        assert_eq!((faulty.failed, faulty.retries), (0, 0));
+    }
+
+    #[test]
+    fn link_flap_edges_retry_until_the_window_lifts() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let mut res = SchedResources::new(2, 4);
+        // Pin a→b across the 0–1 link, then flap that link over the
+        // first arrivals: they must retry (not fail, not error) and the
+        // run must account every extra attempt.
+        let mut policy = Pinned::new(0).pin("b", 1);
+        let plan = FailurePlan::new(RetryPolicy::new(6, 2_000, 1 << 40)).with_outages(
+            OutageSchedule::new().link_down(res.node_id(0), res.node_id(1), 0, 5_000),
+        );
+        let run = open(pipeline_spec(), 10_000, 4)
+            .run_with_failures(&mut plane, &clock, &mut res, &mut policy, None, Some(&plan))
+            .unwrap();
+        assert_eq!(run.outcomes.len(), 4);
+        assert_eq!(run.failed, 0, "the flap lifts well inside the retry budget");
+        assert_eq!(run.completed(), 4);
+        assert!(run.retries > 0, "the covered arrivals must have retried");
+        assert!(run.retried() >= 1);
+        // Instance 0 arrives at t=0 under the flap: its sojourn absorbs
+        // the down window. Instance 3 arrives at t=30000, after the
+        // window: clean first attempt.
+        assert!(run.outcomes[0].retries > 0);
+        assert!(run.outcomes[0].sojourn_ns >= 5_000);
+        assert_eq!(run.outcomes[3].retries, 0);
+        assert_eq!(run.outcomes[3].sojourn_ns, 1_500);
+    }
+
+    #[test]
+    fn a_killed_node_fails_placed_instances_and_conserves_outcomes() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = Pinned::new(0).pin("b", 1);
+        // Node 1 dies before the run and is never detected (no removal):
+        // every pinned a→b edge dead-ends there and exhausts its budget.
+        let plan = FailurePlan::new(RetryPolicy::new(3, 1_000, 1 << 40))
+            .with_outages(OutageSchedule::new().node_killed(res.node_id(1), 0));
+        let run = open(pipeline_spec(), 10_000, 3)
+            .run_with_failures(&mut plane, &clock, &mut res, &mut policy, None, Some(&plan))
+            .unwrap();
+        assert_eq!(run.outcomes.len(), 3, "failed instances still yield outcomes");
+        assert_eq!(run.failed, 3);
+        assert_eq!(run.completed(), 0);
+        assert_eq!(run.outcomes.len(), run.completed() + run.failed);
+        // 3 attempts per instance: 2 retries each.
+        assert_eq!(run.retries, 6);
+        assert!(run.outcomes.iter().all(|o| o.failed && o.retries == 2));
+        assert!(run.sojourn_percentiles().is_none(), "percentiles cover completions only");
+        assert!(run.throughput_rps() == 0.0);
+    }
+
+    #[test]
+    fn a_detected_kill_removes_the_node_and_the_autoscaler_replaces_it() {
+        let spec = pipeline_spec();
+        let closed = ClosedLoop {
+            spec: spec.clone(),
+            payload: Bytes::new(),
+            users: 3,
+            think_ns: 200,
+            ramp_ns: 0,
+            instances: 30,
+            cold_start_ns: None,
+        };
+        // Thresholds no backlog signal can cross: the only decisions
+        // this controller ever takes are replacements.
+        let cfg = AutoscalerConfig {
+            min_nodes: 1,
+            max_nodes: 4,
+            node_cores: 4,
+            scale_up_backlog_ns: Nanos::MAX,
+            scale_down_backlog_ns: 0,
+            window_ns: 1,
+        };
+
+        // Fixed-size baseline: the kill permanently halves capacity.
+        let fixed = {
+            let clock = VirtualClock::new();
+            let mut plane = FixedPlane::new(clock.clone());
+            let mut res = SchedResources::new(2, 4);
+            let mut policy = SpreadLoad::new();
+            let plan = FailurePlan::new(RetryPolicy::new(2, 500, 1 << 40)).kill_node(
+                res.node_id(1),
+                4_000,
+                1_000,
+            );
+            closed
+                .run_with_failures(&mut plane, &clock, &mut res, &mut policy, None, Some(&plan))
+                .unwrap()
+        };
+        assert_eq!(fixed.final_nodes, 1, "nobody replaces the dead node");
+        assert_eq!(fixed.outcomes.len(), fixed.completed() + fixed.failed);
+
+        // Elastic: the controller notices the loss and restores capacity.
+        let elastic = {
+            let clock = VirtualClock::new();
+            let mut plane = FixedPlane::new(clock.clone());
+            let mut res = SchedResources::new(2, 4);
+            let mut policy = SpreadLoad::new();
+            let mut scaler = Autoscaler::new(cfg);
+            let plan = FailurePlan::new(RetryPolicy::new(2, 500, 1 << 40)).kill_node(
+                res.node_id(1),
+                4_000,
+                1_000,
+            );
+            closed
+                .run_with_failures(
+                    &mut plane,
+                    &clock,
+                    &mut res,
+                    &mut policy,
+                    Some(&mut scaler),
+                    Some(&plan),
+                )
+                .unwrap()
+        };
+        assert_eq!(elastic.final_nodes, 2, "capacity restored to the expected size");
+        assert_eq!(
+            elastic.scale_events.iter().filter(|e| e.action == ScaleAction::Replace).count(),
+            1,
+            "exactly one replacement, no flapping: {:?}",
+            elastic.scale_events,
+        );
+        assert_eq!(elastic.outcomes.len(), elastic.completed() + elastic.failed);
+        // Once replaced, the tail of the run completes cleanly again.
+        let last = elastic.outcomes.last().unwrap();
+        assert!(!last.failed);
+        // The replacement node is a fresh machine with a fresh id: the
+        // dead node's windows must not apply to it.
+        assert!(elastic.outcomes.iter().rev().take(5).all(|o| !o.failed));
+    }
+
+    #[test]
+    fn failed_instances_re_arm_their_closed_loop_user() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = Pinned::new(0).pin("b", 1);
+        // Node 1 is dead for the whole run and never removed: every
+        // instance fails, yet all 6 get admitted — each failure re-arms
+        // its user after think time.
+        let plan = FailurePlan::new(RetryPolicy::new(2, 100, 1 << 40))
+            .with_outages(OutageSchedule::new().node_killed(res.node_id(1), 0));
+        let closed = ClosedLoop {
+            spec: pipeline_spec(),
+            payload: Bytes::new(),
+            users: 2,
+            think_ns: 300,
+            ramp_ns: 0,
+            instances: 6,
+            cold_start_ns: None,
+        };
+        let run = closed
+            .run_with_failures(&mut plane, &clock, &mut res, &mut policy, None, Some(&plan))
+            .unwrap();
+        assert_eq!(run.outcomes.len(), 6);
+        assert_eq!(run.failed, 6);
+        assert_eq!(run.completed(), 0);
+        assert_eq!(run.offered_rps, 0.0, "a closed loop that completes nothing offers nothing");
+        assert!(!run.offered_rps.is_nan());
+    }
+
+    #[test]
+    fn open_loop_offered_rate_comes_from_the_arrival_process() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        // 1 ms mean interval → 1000 rps offered, computed by the engine
+        // (no driver fills it in after the fact).
+        let run = open(pipeline_spec(), 1_000_000, 3)
+            .run(&mut plane, &clock, &mut res, &mut policy)
+            .unwrap();
+        assert!((run.offered_rps - 1_000.0).abs() < 1e-9);
     }
 }

@@ -57,12 +57,14 @@ struct MemoEntry {
     dst: Option<usize>,
     len: usize,
     fingerprint: u64,
+    epoch: u64,
     received: Bytes,
     timing: Option<TransferTiming>,
     clock_advance_ns: Nanos,
 }
 
 impl MemoEntry {
+    #[allow(clippy::too_many_arguments)]
     fn matches(
         &self,
         from: &str,
@@ -71,6 +73,7 @@ impl MemoEntry {
         dst: Option<usize>,
         len: usize,
         fingerprint: u64,
+        epoch: u64,
     ) -> bool {
         self.from == from
             && self.to == to
@@ -78,6 +81,7 @@ impl MemoEntry {
             && self.dst == dst
             && self.len == len
             && self.fingerprint == fingerprint
+            && self.epoch == epoch
     }
 }
 
@@ -98,6 +102,11 @@ pub struct MemoizedPlane<'a> {
     entries: HashMap<u64, MemoEntry>,
     fingerprints: HashMap<(usize, usize), u64>,
     pinned: Vec<Bytes>,
+    /// Link-health epoch mixed into every key: bumped by the load
+    /// engines on each outage transition, so recordings made while a
+    /// link was up are never replayed while it is down (and vice
+    /// versa). Stays 0 when no failures are injected.
+    health_epoch: u64,
     hits: u64,
     misses: u64,
     bypasses: u64,
@@ -144,6 +153,7 @@ impl<'a> MemoizedPlane<'a> {
             entries: HashMap::new(),
             fingerprints: HashMap::new(),
             pinned: Vec::new(),
+            health_epoch: 0,
             hits: 0,
             misses: 0,
             bypasses: 0,
@@ -213,20 +223,37 @@ impl DataPlane for MemoizedPlane<'_> {
         to: &str,
         payload: Bytes,
     ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
-        let src = self.inner.placement(from);
-        let dst = self.inner.placement(to);
+        self.transfer_placed(from, to, payload, None, None)
+    }
+
+    fn transfer_placed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+        src_node: Option<usize>,
+        dst_node: Option<usize>,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        // The key uses the *effective* placement — the per-instance
+        // override when one is given, the wrapped plane's deployment
+        // placement otherwise — so an edge memoized colocated is never
+        // replayed for an instance whose override separated it.
+        let src = src_node.or_else(|| self.inner.placement(from));
+        let dst = dst_node.or_else(|| self.inner.placement(to));
         let len = payload.len();
         let fingerprint = self.fingerprint(&payload);
+        let epoch = self.health_epoch;
         let key = {
             let mut h = mix_str(0xcbf2_9ce4_8422_2325, from);
             h = mix_str(h, to);
             h = mix(h, src.map(|n| n as u64 + 1).unwrap_or(0));
             h = mix(h, dst.map(|n| n as u64 + 1).unwrap_or(0));
             h = mix(h, len as u64);
-            mix(h, fingerprint)
+            h = mix(h, fingerprint);
+            mix(h, epoch)
         };
         match self.entries.get(&key) {
-            Some(entry) if entry.matches(from, to, src, dst, len, fingerprint) => {
+            Some(entry) if entry.matches(from, to, src, dst, len, fingerprint, epoch) => {
                 // Hit: replay the recorded outcome, clock advance
                 // included, so downstream virtual-time math is
                 // indistinguishable from the real run.
@@ -238,12 +265,13 @@ impl DataPlane for MemoizedPlane<'_> {
                 // Composite-hash collision: run uncached rather than risk
                 // replaying the wrong edge.
                 self.bypasses += 1;
-                self.inner.transfer_detailed(from, to, payload)
+                self.inner.transfer_placed(from, to, payload, src_node, dst_node)
             }
             None => {
                 self.misses += 1;
                 let t0 = self.clock.now();
-                let (received, timing) = self.inner.transfer_detailed(from, to, payload)?;
+                let (received, timing) =
+                    self.inner.transfer_placed(from, to, payload, src_node, dst_node)?;
                 let clock_advance_ns = self.clock.now() - t0;
                 self.entries.insert(
                     key,
@@ -254,6 +282,7 @@ impl DataPlane for MemoizedPlane<'_> {
                         dst,
                         len,
                         fingerprint,
+                        epoch,
                         received: received.clone(),
                         timing,
                         clock_advance_ns,
@@ -266,6 +295,11 @@ impl DataPlane for MemoizedPlane<'_> {
 
     fn placement(&self, function: &str) -> Option<usize> {
         self.inner.placement(function)
+    }
+
+    fn set_health_epoch(&mut self, epoch: u64) {
+        self.health_epoch = epoch;
+        self.inner.set_health_epoch(epoch);
     }
 }
 
@@ -398,6 +432,39 @@ mod tests {
         }
         drop(memo);
         assert_eq!(plane.calls, 2, "second instance fully memoized");
+    }
+
+    #[test]
+    fn health_epochs_partition_the_cache() {
+        let clock = VirtualClock::new();
+        let mut plane = CountingPlane { clock: clock.clone(), calls: 0 };
+        let mut memo = MemoizedPlane::new(&mut plane, clock.clone());
+        let p = Bytes::from(vec![5u8; 100]);
+        memo.transfer_detailed("a", "b", p.clone()).unwrap();
+        memo.transfer_detailed("a", "b", p.clone()).unwrap(); // hit
+        memo.set_health_epoch(1);
+        memo.transfer_detailed("a", "b", p.clone()).unwrap(); // new epoch: miss
+        memo.set_health_epoch(0);
+        memo.transfer_detailed("a", "b", p).unwrap(); // old epoch: hit again
+        assert_eq!((memo.hits(), memo.misses()), (2, 2));
+    }
+
+    #[test]
+    fn placement_overrides_key_separately_from_the_deployment() {
+        let clock = VirtualClock::new();
+        let mut plane = CountingPlane { clock: clock.clone(), calls: 0 };
+        let mut memo = MemoizedPlane::new(&mut plane, clock.clone());
+        let p = Bytes::from(vec![6u8; 100]);
+        memo.transfer_detailed("a", "b", p.clone()).unwrap();
+        // Overrides matching the deployment placement (both "a" and "b"
+        // sit on node 1 under CountingPlane's parity rule) share the
+        // entry...
+        memo.transfer_placed("a", "b", p.clone(), Some(1), Some(1)).unwrap();
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        // ...while an override that moves an endpoint records afresh.
+        memo.transfer_placed("a", "b", p.clone(), Some(1), Some(0)).unwrap();
+        memo.transfer_placed("a", "b", p, Some(1), Some(0)).unwrap();
+        assert_eq!((memo.hits(), memo.misses()), (2, 2));
     }
 
     #[test]

@@ -261,12 +261,42 @@ pub trait DataPlane {
         self.transfer(from, to, payload).map(|received| (received, None))
     }
 
+    /// Like [`transfer_detailed`](Self::transfer_detailed), carrying the
+    /// **instance's** effective placement for both endpoints (`None` =
+    /// no override). Planes that derive a delivery mode from co-location
+    /// (`RoadrunnerPlane` in `roadrunner-core`) override this so a
+    /// placement wrapper ([`Placed`](crate::loadgen::Placed)) can flip
+    /// an edge between user-/kernel-space and network delivery per
+    /// instance; the default ignores the overrides and keeps the
+    /// deployment's static modes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`transfer`](Self::transfer).
+    fn transfer_placed(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+        _src_node: Option<usize>,
+        _dst_node: Option<usize>,
+    ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+        self.transfer_detailed(from, to, payload)
+    }
+
     /// Node index `function` is placed on, for resource attribution in
     /// the concurrent engine. `None` (the default) schedules everything
     /// on node 0.
     fn placement(&self, _function: &str) -> Option<usize> {
         None
     }
+
+    /// Observes the cluster's link-health epoch, bumped by the
+    /// failure-aware load driver on every outage transition. Caching
+    /// planes ([`MemoizedPlane`](crate::memo::MemoizedPlane)) key their
+    /// entries on it so costs recorded under one health regime never
+    /// replay under another; everything else ignores it (the default).
+    fn set_health_epoch(&mut self, _epoch: u64) {}
 }
 
 /// Timing and integrity record for one workflow edge.
@@ -496,6 +526,142 @@ pub fn execute_compiled_at(
     resources: &mut SchedResources,
     release_ns: Nanos,
 ) -> Result<WorkflowRun, PlatformError> {
+    match run_compiled_at(plane, clock, compiled, payload, resources, release_ns, None)? {
+        FaultyOutcome::Completed { run, .. } => Ok(run),
+        FaultyOutcome::Failed { .. } => unreachable!("edges cannot fail without a retry policy"),
+    }
+}
+
+/// Bounded retry-with-backoff for transfer failures, in virtual time.
+///
+/// An edge attempt fails when its source node, target node, or the link
+/// between them is down (under the [`OutageSchedule`](roadrunner_vkernel::OutageSchedule)
+/// attached to the run's [`SchedResources`]) at the attempt's ready
+/// instant, or when a mid-edge reservation is rejected because a window
+/// opened between phases. The engine then re-attempts the edge after a
+/// deterministic exponential backoff — `min(base << retries, max)` —
+/// until `max_attempts` attempts have failed, at which point the whole
+/// instance fails with per-edge accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per edge (the first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff_ns: Nanos,
+    /// Backoff ceiling for the exponential schedule.
+    pub max_backoff_ns: Nanos,
+}
+
+impl RetryPolicy {
+    /// A policy of `max_attempts` attempts with exponential backoff
+    /// from `base_backoff_ns` capped at `max_backoff_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn new(max_attempts: u32, base_backoff_ns: Nanos, max_backoff_ns: Nanos) -> Self {
+        assert!(max_attempts > 0, "an edge needs at least one attempt");
+        Self { max_attempts, base_backoff_ns, max_backoff_ns }
+    }
+
+    /// The backoff after the `failed_attempts`-th failed attempt
+    /// (counted from 1): `min(base × 2^(failed_attempts−1), max)`.
+    pub fn backoff_ns(&self, failed_attempts: u32) -> Nanos {
+        let shift = failed_attempts.saturating_sub(1).min(62);
+        self.base_backoff_ns
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ns)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 1 ms base backoff, 50 ms ceiling — rides out
+    /// millisecond-scale link flaps, gives up on dead nodes quickly.
+    fn default() -> Self {
+        Self { max_attempts: 4, base_backoff_ns: 1_000_000, max_backoff_ns: 50_000_000 }
+    }
+}
+
+/// Accounting for the edge that exhausted its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeFailure {
+    /// Sending function of the failed edge.
+    pub from: String,
+    /// Receiving function of the failed edge.
+    pub to: String,
+    /// Attempts made (== the policy's `max_attempts`).
+    pub attempts: u32,
+    /// Virtual instant the engine gave up, on the resources' timescale.
+    pub failed_at_ns: Nanos,
+}
+
+/// Outcome of a fault-aware execution: the run completed (possibly
+/// after retries), or an edge exhausted its retry budget and the
+/// instance failed. `retries` counts failed attempts across **all**
+/// edges of the instance.
+#[derive(Debug)]
+pub enum FaultyOutcome {
+    /// Every edge eventually succeeded.
+    Completed {
+        /// The completed run, identical in shape to a fault-free one.
+        run: WorkflowRun,
+        /// Failed attempts absorbed along the way.
+        retries: u32,
+    },
+    /// An edge ran out of attempts; the instance did not complete.
+    Failed {
+        /// The edge that gave up.
+        failure: EdgeFailure,
+        /// Failed attempts across all edges, the fatal ones included.
+        retries: u32,
+    },
+}
+
+/// [`execute_compiled_at`] made fault-aware: edge attempts consult the
+/// outage schedule attached to `resources`, failed attempts re-run
+/// after `retry`'s deterministic backoff, and an edge that exhausts its
+/// budget fails the instance with accounting instead of an opaque
+/// error. With an empty (or absent) outage schedule the behavior — and
+/// every reservation — is byte-identical to [`execute_compiled_at`].
+///
+/// # Errors
+///
+/// Propagates non-fault transfer errors (unknown function, integrity
+/// violations); outage-induced failures come back as
+/// [`FaultyOutcome::Failed`], not `Err`.
+pub fn execute_compiled_faulty_at(
+    plane: &mut dyn DataPlane,
+    clock: &VirtualClock,
+    compiled: &CompiledWorkflow<'_>,
+    payload: Bytes,
+    resources: &mut SchedResources,
+    release_ns: Nanos,
+    retry: &RetryPolicy,
+) -> Result<FaultyOutcome, PlatformError> {
+    run_compiled_at(plane, clock, compiled, payload, resources, release_ns, Some(retry))
+}
+
+/// One edge attempt's scheduling result.
+enum Attempt {
+    Done { received: Bytes, timing: TransferTiming, start: Nanos, finish: Nanos },
+    GaveUp { at: Nanos },
+}
+
+/// The shared engine behind [`execute_compiled_at`] (faults `None`) and
+/// [`execute_compiled_faulty_at`] (faults `Some`). With `None`, the
+/// fault pre-flight is skipped and every `try_reserve_*` degrades to a
+/// plain reservation, so the fault-free path is the exact schedule the
+/// byte-identity gates pin.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_compiled_at(
+    plane: &mut dyn DataPlane,
+    clock: &VirtualClock,
+    compiled: &CompiledWorkflow<'_>,
+    payload: Bytes,
+    resources: &mut SchedResources,
+    release_ns: Nanos,
+    faults: Option<&RetryPolicy>,
+) -> Result<FaultyOutcome, PlatformError> {
     let dag = compiled.dag();
     let n = compiled.node_count();
     let mut pending = compiled.in_degrees.clone();
@@ -508,6 +674,7 @@ pub fn execute_compiled_at(
     }
     let mut edges = Vec::with_capacity(compiled.edge_count());
     let mut makespan: Nanos = 0;
+    let mut retries: u32 = 0;
     while let Some((ready_ns, u)) = queue.pop() {
         for &v in dag.successors(u) {
             // One logical copy per transfer (satellite of ISSUE 5): the
@@ -517,58 +684,106 @@ pub fn execute_compiled_at(
                 node_payload[u].as_ref().expect("events fire after inputs exist").clone();
             let bytes = current.len();
             let (from, to) = (dag.node_name(u).to_owned(), dag.node_name(v).to_owned());
-            let t0 = clock.now();
-            let (received, timing) = plane.transfer_detailed(&from, &to, current)?;
-            let measured = clock.now() - t0;
-            let timing = timing.unwrap_or(TransferTiming {
-                prepare_ns: 0,
-                transfer_ns: measured,
-                consume_ns: 0,
-            });
             let src = plane.placement(&from).unwrap_or(0);
             let dst = plane.placement(&to).unwrap_or(0);
 
-            // Place the three phases, in order, on their resources.
-            let p_start = resources.cpu(src).reserve(ready_ns, timing.prepare_ns);
-            let p_end = p_start + timing.prepare_ns;
-            let t_start = if src == dst {
-                resources.cpu(src).reserve(p_end, timing.transfer_ns)
-            } else {
-                resources.link_between(src, dst).reserve(p_end, timing.transfer_ns)
-            };
-            let t_end = t_start + timing.transfer_ns;
-            let c_start = resources.cpu(dst).reserve(t_end, timing.consume_ns);
-            let finish = c_start + timing.consume_ns;
-            // The edge starts where its first nonzero phase was granted.
-            let start = if timing.prepare_ns > 0 {
-                p_start
-            } else if timing.transfer_ns > 0 {
-                t_start
-            } else {
-                c_start
-            };
-            makespan = makespan.max(finish);
+            let mut attempts: u32 = 0;
+            let mut edge_ready = ready_ns;
+            let attempt = loop {
+                attempts += 1;
+                // Fault pre-flight: a down endpoint or link at the
+                // attempt's ready instant fails the attempt before any
+                // work is done.
+                let blocked = faults.is_some()
+                    && (resources.node_down_at(src, edge_ready)
+                        || resources.node_down_at(dst, edge_ready)
+                        || (src != dst
+                            && resources.link_down_between_at(src, dst, edge_ready)));
+                if !blocked {
+                    let t0 = clock.now();
+                    let (received, timing) =
+                        plane.transfer_detailed(&from, &to, current.clone())?;
+                    let measured = clock.now() - t0;
+                    let timing = timing.unwrap_or(TransferTiming {
+                        prepare_ns: 0,
+                        transfer_ns: measured,
+                        consume_ns: 0,
+                    });
 
-            if node_payload[v].is_none() {
-                node_payload[v] = Some(received.clone());
-            }
-            edges.push(EdgeResult {
-                from,
-                to,
-                bytes,
-                latency_ns: timing.total_ns(),
-                start_ns: start,
-                finish_ns: finish,
-                received,
-            });
-            node_ready[v] = node_ready[v].max(finish);
-            pending[v] -= 1;
-            if pending[v] == 0 && !dag.successors(v).is_empty() {
-                queue.push(node_ready[v], v);
+                    // Place the three phases, in order, on their
+                    // resources. A rejection mid-edge (a down window
+                    // opened between phases) fails the attempt; phases
+                    // already placed stay reserved — work wasted on a
+                    // half-sent transfer.
+                    let placed = (|| {
+                        let p_start =
+                            resources.try_reserve_cpu(src, edge_ready, timing.prepare_ns)?;
+                        let p_end = p_start + timing.prepare_ns;
+                        let t_start = if src == dst {
+                            resources.try_reserve_cpu(src, p_end, timing.transfer_ns)?
+                        } else {
+                            resources.try_reserve_link(src, dst, p_end, timing.transfer_ns)?
+                        };
+                        let t_end = t_start + timing.transfer_ns;
+                        let c_start = resources.try_reserve_cpu(dst, t_end, timing.consume_ns)?;
+                        Some((p_start, t_start, c_start))
+                    })();
+                    if let Some((p_start, t_start, c_start)) = placed {
+                        let finish = c_start + timing.consume_ns;
+                        // The edge starts where its first nonzero phase
+                        // was granted.
+                        let start = if timing.prepare_ns > 0 {
+                            p_start
+                        } else if timing.transfer_ns > 0 {
+                            t_start
+                        } else {
+                            c_start
+                        };
+                        break Attempt::Done { received, timing, start, finish };
+                    }
+                }
+                let policy = faults.expect("attempts only fail with a retry policy");
+                if attempts >= policy.max_attempts {
+                    break Attempt::GaveUp { at: edge_ready };
+                }
+                edge_ready = edge_ready.saturating_add(policy.backoff_ns(attempts));
+            };
+            retries += attempts - 1;
+
+            match attempt {
+                Attempt::Done { received, timing, start, finish } => {
+                    makespan = makespan.max(finish);
+                    if node_payload[v].is_none() {
+                        node_payload[v] = Some(received.clone());
+                    }
+                    edges.push(EdgeResult {
+                        from,
+                        to,
+                        bytes,
+                        latency_ns: timing.total_ns(),
+                        start_ns: start,
+                        finish_ns: finish,
+                        received,
+                    });
+                    node_ready[v] = node_ready[v].max(finish);
+                    pending[v] -= 1;
+                    if pending[v] == 0 && !dag.successors(v).is_empty() {
+                        queue.push(node_ready[v], v);
+                    }
+                }
+                Attempt::GaveUp { at } => {
+                    return Ok(FaultyOutcome::Failed {
+                        failure: EdgeFailure { from, to, attempts, failed_at_ns: at },
+                        retries,
+                    });
+                }
             }
         }
     }
-    Ok(WorkflowRun { edges, total_latency_ns: makespan.saturating_sub(release_ns) })
+    Ok(FaultyOutcome::Completed {
+        run: WorkflowRun { edges, total_latency_ns: makespan.saturating_sub(release_ns) },
+        retries,
+    })
 }
 
 pub(crate) fn fnv1a(data: &[u8]) -> u64 {
@@ -1089,5 +1304,226 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run.total_latency_ns, 500);
+    }
+
+    /// A two-node plane for fault tests: `src` on node 0, everything
+    /// else on node 1, 1 µs per transfer.
+    struct SplitPlane {
+        clock: VirtualClock,
+    }
+
+    impl DataPlane for SplitPlane {
+        fn transfer(&mut self, _: &str, _: &str, p: Bytes) -> Result<Bytes, PlatformError> {
+            self.clock.advance(1_000);
+            Ok(p)
+        }
+        fn transfer_detailed(
+            &mut self,
+            f: &str,
+            t: &str,
+            p: Bytes,
+        ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+            let received = self.transfer(f, t, p)?;
+            Ok((received, Some(TransferTiming { prepare_ns: 0, transfer_ns: 1_000, consume_ns: 0 })))
+        }
+        fn placement(&self, function: &str) -> Option<usize> {
+            Some(usize::from(function != "src"))
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let policy = RetryPolicy::new(10, 1_000, 5_000);
+        assert_eq!(policy.backoff_ns(1), 1_000);
+        assert_eq!(policy.backoff_ns(2), 2_000);
+        assert_eq!(policy.backoff_ns(3), 4_000);
+        assert_eq!(policy.backoff_ns(4), 5_000); // capped
+        assert_eq!(policy.backoff_ns(100), 5_000); // shift saturates too
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn a_zero_attempt_policy_is_rejected() {
+        RetryPolicy::new(0, 1, 1);
+    }
+
+    #[test]
+    fn faulty_engine_with_no_outages_matches_the_plain_engine() {
+        let spec = diamond_spec();
+        let payload = Bytes::from(vec![4u8; 2_000]);
+        let compiled = CompiledWorkflow::compile(&spec).unwrap();
+
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let mut res = SchedResources::new(1, 4);
+        let plain =
+            execute_compiled_at(&mut plane, &clock, &compiled, payload.clone(), &mut res, 100)
+                .unwrap();
+
+        let clock = VirtualClock::new();
+        let mut plane = PassThrough { clock: clock.clone() };
+        let mut res = SchedResources::new(1, 4);
+        let outcome = execute_compiled_faulty_at(
+            &mut plane,
+            &clock,
+            &compiled,
+            payload,
+            &mut res,
+            100,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        let FaultyOutcome::Completed { run, retries } = outcome else {
+            panic!("fault-free resources cannot fail");
+        };
+        assert_eq!(retries, 0);
+        assert_eq!(run.total_latency_ns, plain.total_latency_ns);
+        for (a, b) in plain.edges.iter().zip(&run.edges) {
+            assert_eq!(
+                (a.start_ns, a.finish_ns, a.checksum()),
+                (b.start_ns, b.finish_ns, b.checksum())
+            );
+        }
+    }
+
+    #[test]
+    fn edges_retry_through_a_link_flap_and_account_the_attempts() {
+        use std::sync::Arc;
+
+        let clock = VirtualClock::new();
+        let mut plane = SplitPlane { clock: clock.clone() };
+        let spec = WorkflowSpec::sequence("wf", "t", ["src".to_owned(), "dst".to_owned()]);
+        let compiled = CompiledWorkflow::compile(&spec).unwrap();
+        let mut res = SchedResources::new(2, 4);
+        // The 0–1 link is down for the first 2.5 µs; with a 1 µs base
+        // backoff, attempt 1 (t=0) and attempt 2 (t=1 µs) fail, and
+        // attempt 3 (t=1 µs + 2 µs = 3 µs) lands past the window.
+        let id0 = res.node_id(0);
+        let id1 = res.node_id(1);
+        res.set_outages(Arc::new(
+            roadrunner_vkernel::OutageSchedule::new().link_down(id0, id1, 0, 2_500),
+        ));
+        let policy = RetryPolicy::new(4, 1_000, 1 << 40);
+        let outcome = execute_compiled_faulty_at(
+            &mut plane,
+            &clock,
+            &compiled,
+            Bytes::from_static(b"x"),
+            &mut res,
+            0,
+            &policy,
+        )
+        .unwrap();
+        let FaultyOutcome::Completed { run, retries } = outcome else {
+            panic!("the flap ends before the budget does");
+        };
+        assert_eq!(retries, 2);
+        assert_eq!(run.edges[0].start_ns, 3_000);
+        assert_eq!(run.edges[0].finish_ns, 4_000);
+    }
+
+    #[test]
+    fn a_killed_node_exhausts_the_retry_budget() {
+        use std::sync::Arc;
+
+        let clock = VirtualClock::new();
+        let mut plane = SplitPlane { clock: clock.clone() };
+        let spec = WorkflowSpec::sequence("wf", "t", ["src".to_owned(), "dst".to_owned()]);
+        let compiled = CompiledWorkflow::compile(&spec).unwrap();
+        let mut res = SchedResources::new(2, 4);
+        let dead = res.node_id(1);
+        res.set_outages(Arc::new(
+            roadrunner_vkernel::OutageSchedule::new().node_killed(dead, 0),
+        ));
+        let policy = RetryPolicy::new(3, 1_000, 1 << 40);
+        let outcome = execute_compiled_faulty_at(
+            &mut plane,
+            &clock,
+            &compiled,
+            Bytes::from_static(b"x"),
+            &mut res,
+            0,
+            &policy,
+        )
+        .unwrap();
+        let FaultyOutcome::Failed { failure, retries } = outcome else {
+            panic!("a dead target cannot complete");
+        };
+        assert_eq!((failure.from.as_str(), failure.to.as_str()), ("src", "dst"));
+        assert_eq!(failure.attempts, 3);
+        assert_eq!(retries, 2);
+        // Backoffs 1 µs then 2 µs: the engine gave up at t = 3 µs.
+        assert_eq!(failure.failed_at_ns, 3_000);
+        // Nothing was reserved: the pre-flight rejected every attempt.
+        assert_eq!(res.cpu(0).reserved_ns(), 0);
+        assert_eq!(res.cpu(1).reserved_ns(), 0);
+    }
+
+    #[test]
+    fn a_mid_edge_window_wastes_the_placed_phases() {
+        use std::sync::Arc;
+
+        // A plane with all three phases: the window opens after prepare
+        // but before the transfer phase's grant, so the attempt fails
+        // with the prepare reservation already spent.
+        struct ThreePhase {
+            clock: VirtualClock,
+        }
+        impl DataPlane for ThreePhase {
+            fn transfer(&mut self, _: &str, _: &str, p: Bytes) -> Result<Bytes, PlatformError> {
+                self.clock.advance(3_000);
+                Ok(p)
+            }
+            fn transfer_detailed(
+                &mut self,
+                f: &str,
+                t: &str,
+                p: Bytes,
+            ) -> Result<(Bytes, Option<TransferTiming>), PlatformError> {
+                let received = self.transfer(f, t, p)?;
+                Ok((
+                    received,
+                    Some(TransferTiming {
+                        prepare_ns: 1_000,
+                        transfer_ns: 1_000,
+                        consume_ns: 1_000,
+                    }),
+                ))
+            }
+            fn placement(&self, function: &str) -> Option<usize> {
+                Some(usize::from(function != "src"))
+            }
+        }
+        let clock = VirtualClock::new();
+        let mut plane = ThreePhase { clock: clock.clone() };
+        let spec = WorkflowSpec::sequence("wf", "t", ["src".to_owned(), "dst".to_owned()]);
+        let compiled = CompiledWorkflow::compile(&spec).unwrap();
+        let mut res = SchedResources::new(2, 4);
+        let id0 = res.node_id(0);
+        let id1 = res.node_id(1);
+        // Link down [500, 4_000): up at t=0 (pre-flight passes), down at
+        // t=1_000 when the transfer phase asks for the link.
+        res.set_outages(Arc::new(
+            roadrunner_vkernel::OutageSchedule::new().link_down(id0, id1, 500, 4_000),
+        ));
+        let policy = RetryPolicy::new(2, 4_000, 4_000);
+        let outcome = execute_compiled_faulty_at(
+            &mut plane,
+            &clock,
+            &compiled,
+            Bytes::from_static(b"x"),
+            &mut res,
+            0,
+            &policy,
+        )
+        .unwrap();
+        let FaultyOutcome::Completed { run, retries } = outcome else {
+            panic!("the retry lands after the window");
+        };
+        assert_eq!(retries, 1);
+        // Attempt 2 at t=4_000 runs clean; the wasted prepare from
+        // attempt 1 stays on node 0's CPU (2 × 1_000 prepare total).
+        assert_eq!(run.edges[0].finish_ns, 7_000);
+        assert_eq!(res.cpu(0).reserved_ns(), 2_000);
     }
 }

@@ -104,6 +104,7 @@ pub struct ClusterSpec {
     cost: CostModel,
     default_link: Option<LinkSpec>,
     overrides: HashMap<(usize, usize), LinkSpec>,
+    link_lanes: usize,
 }
 
 impl ClusterSpec {
@@ -115,6 +116,7 @@ impl ClusterSpec {
             cost: CostModel::paper_testbed(),
             default_link: None,
             overrides: HashMap::new(),
+            link_lanes: 1,
         }
     }
 
@@ -168,6 +170,21 @@ impl ClusterSpec {
         self
     }
 
+    /// Sets how many transfers each pair link carries concurrently
+    /// before they queue (chainable; defaults to 1). The lane count is
+    /// mirrored into
+    /// [`SchedResources::for_testbed`](crate::sched::SchedResources::for_testbed),
+    /// including every link a later scale-out creates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn link_lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes > 0, "a link needs at least one lane");
+        self.link_lanes = lanes;
+        self
+    }
+
     /// Overrides the link between nodes `a` and `b` (chainable; order of
     /// `a`/`b` does not matter).
     ///
@@ -211,7 +228,7 @@ impl ClusterSpec {
                 links.push(spec.build(format!("link-{a}-{b}")));
             }
         }
-        Testbed::from_cluster(self.nodes, self.cost, links)
+        Testbed::from_cluster(self.nodes, self.cost, links, self.link_lanes)
     }
 }
 

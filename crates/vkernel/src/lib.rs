@@ -39,6 +39,9 @@
 //! * [`cluster`] — N-node topologies beyond the paper's two-VM pair:
 //!   heterogeneous nodes joined by a per-pair link mesh, built into the
 //!   same [`Testbed`] everything else already runs on.
+//! * [`outage`] — deterministic link/node up–down schedules that make
+//!   the cluster fallible: timelines reject reservations during a down
+//!   window so the platform's engines see transfer failures and retry.
 //!
 //! # Example
 //!
@@ -60,6 +63,7 @@ pub mod costmodel;
 pub mod error;
 pub mod net;
 pub mod node;
+pub mod outage;
 pub mod pipe;
 pub mod pipeline;
 pub mod sched;
@@ -74,6 +78,7 @@ pub use costmodel::CostModel;
 pub use error::VkError;
 pub use net::Link;
 pub use node::Node;
+pub use outage::{OutageSchedule, OutageWindow};
 pub use pipeline::{Overlap, Space, Stage, TransferOutcome};
 pub use sched::{EventQueue, NodeView, ResourceView, SchedResources, Timeline};
 pub use testbed::Testbed;

@@ -28,7 +28,9 @@
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use crate::outage::OutageSchedule;
 use crate::testbed::Testbed;
 use crate::Nanos;
 
@@ -133,6 +135,15 @@ impl Timeline {
     /// Time the last reservation drains. O(1): the cached maximum.
     pub fn busy_until(&self) -> Nanos {
         self.latest
+    }
+
+    /// Every lane's free time, sorted ascending. O(c log c) — used only
+    /// on the cold path (migrating a removed node's backlog), never in
+    /// the per-event control loop.
+    pub fn lane_ends(&self) -> Vec<Nanos> {
+        let mut ends: Vec<Nanos> = self.lanes.iter().map(|&Reverse(t)| t).collect();
+        ends.sort_unstable();
+        ends
     }
 
     /// Clears all reservations.
@@ -357,6 +368,19 @@ pub struct SchedResources {
     cpus: Vec<Timeline>,
     wan: Timeline,
     mesh: Option<Vec<Timeline>>,
+    /// Stable per-node ids, parallel to `cpus`. Indices shift as the
+    /// autoscaler adds and removes nodes; ids never do, so outage
+    /// schedules written before a run keep naming the same machine.
+    ids: Vec<u64>,
+    /// Next fresh id handed to [`add_node`](Self::add_node).
+    next_id: u64,
+    /// Lane count for mesh pair links, applied to the initial mesh and
+    /// to every fresh link scale-out creates.
+    link_capacity: usize,
+    /// Attached outage schedule; `None` (the default) means nothing
+    /// ever fails and the `try_reserve_*` paths degrade to plain
+    /// reservations.
+    outages: Option<Arc<OutageSchedule>>,
     /// Busy time reserved on since-removed node CPU timelines, kept so
     /// utilization totals stay monotone across scale-in.
     retired_cpu_ns: Nanos,
@@ -387,6 +411,10 @@ impl SchedResources {
             cpus,
             wan: Timeline::new("wan", 1),
             mesh: None,
+            ids: (0..node_count as u64).collect(),
+            next_id: node_count as u64,
+            link_capacity: 1,
+            outages: None,
             retired_cpu_ns: 0,
             retired_link_ns: 0,
         }
@@ -409,6 +437,10 @@ impl SchedResources {
             cpus,
             wan: Timeline::new("wan", 1),
             mesh: None,
+            ids: (0..cores.len() as u64).collect(),
+            next_id: cores.len() as u64,
+            link_capacity: 1,
+            outages: None,
             retired_cpu_ns: 0,
             retired_link_ns: 0,
         }
@@ -422,12 +454,27 @@ impl SchedResources {
     ///
     /// Panics if `cores` is empty or any entry is zero.
     pub fn mesh(cores: &[u32]) -> Self {
+        Self::mesh_with_link_capacity(cores, 1)
+    }
+
+    /// [`mesh`](Self::mesh) with `link_capacity` lanes per pair link.
+    /// The capacity is remembered: every fresh link a later
+    /// [`add_node`](Self::add_node) creates gets the same lane count, so
+    /// scale-out on a capacity-2 mesh yields capacity-2 links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty, any entry is zero, or
+    /// `link_capacity` is zero.
+    pub fn mesh_with_link_capacity(cores: &[u32], link_capacity: usize) -> Self {
+        assert!(link_capacity > 0, "a link needs at least one lane");
         let mut this = Self::heterogeneous(cores);
+        this.link_capacity = link_capacity;
         let n = this.cpus.len();
         let mut links = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for a in 0..n {
             for b in a + 1..n {
-                links.push(Timeline::new(format!("link-{a}-{b}"), 1));
+                links.push(Timeline::new(format!("link-{a}-{b}"), link_capacity));
             }
         }
         this.mesh = Some(links);
@@ -441,10 +488,88 @@ impl SchedResources {
     pub fn for_testbed(testbed: &Testbed) -> Self {
         let cores: Vec<u32> = testbed.nodes().iter().map(|n| n.cores()).collect();
         if testbed.has_pair_links() {
-            Self::mesh(&cores)
+            Self::mesh_with_link_capacity(&cores, testbed.link_lanes())
         } else {
             Self::heterogeneous(&cores)
         }
+    }
+
+    /// Stable id of node `idx` (indexes wrap like [`cpu`](Self::cpu)).
+    /// Ids are assigned at construction (`0..n`) and never reused; they
+    /// are what outage schedules key on, so a schedule keeps naming the
+    /// same machine while the autoscaler shifts indices.
+    pub fn node_id(&self, idx: usize) -> u64 {
+        self.ids[idx % self.ids.len()]
+    }
+
+    /// Current index of the node with stable id `id`, if it is still
+    /// part of the cluster.
+    pub fn node_index_of(&self, id: u64) -> Option<usize> {
+        self.ids.iter().position(|&x| x == id)
+    }
+
+    /// Attaches an outage schedule: the `try_reserve_*` paths and the
+    /// down-query helpers consult it from now on. Detaching is not
+    /// supported — pass an empty schedule for an immortal cluster.
+    pub fn set_outages(&mut self, schedule: Arc<OutageSchedule>) {
+        self.outages = Some(schedule);
+    }
+
+    /// The attached outage schedule, if any.
+    pub fn outages(&self) -> Option<&Arc<OutageSchedule>> {
+        self.outages.as_ref()
+    }
+
+    /// Whether node `idx` is down at `at` under the attached schedule
+    /// (always up without one; indexes wrap like [`cpu`](Self::cpu)).
+    pub fn node_down_at(&self, idx: usize, at: Nanos) -> bool {
+        match &self.outages {
+            Some(s) => s.node_down_at(self.node_id(idx), at),
+            None => false,
+        }
+    }
+
+    /// Whether the link carrying traffic between `a` and `b` is down at
+    /// `at` — a pair window, or either endpoint node down. Equal
+    /// indexes reduce to the node query (co-located transfers never
+    /// cross a link).
+    pub fn link_down_between_at(&self, a: usize, b: usize, at: Nanos) -> bool {
+        let n = self.cpus.len();
+        let (a, b) = (a % n, b % n);
+        match &self.outages {
+            Some(s) if a != b => s.link_down_at(self.node_id(a), self.node_id(b), at),
+            Some(s) => s.node_down_at(self.node_id(a), at),
+            None => false,
+        }
+    }
+
+    /// Reserves `duration` on node `idx`'s CPU starting no earlier than
+    /// `earliest`, unless the node is down at `earliest` under the
+    /// attached outage schedule — then `None`, and nothing is reserved.
+    /// Identical to a plain [`cpu`](Self::cpu) + `reserve` when no
+    /// schedule is attached.
+    pub fn try_reserve_cpu(&mut self, idx: usize, earliest: Nanos, duration: Nanos) -> Option<Nanos> {
+        if self.node_down_at(idx, earliest) {
+            return None;
+        }
+        Some(self.cpu(idx).reserve(earliest, duration))
+    }
+
+    /// Reserves `duration` on the link between `a` and `b` starting no
+    /// earlier than `earliest`, unless that link (or either endpoint
+    /// node) is down at `earliest` — then `None`, and nothing is
+    /// reserved.
+    pub fn try_reserve_link(
+        &mut self,
+        a: usize,
+        b: usize,
+        earliest: Nanos,
+        duration: Nanos,
+    ) -> Option<Nanos> {
+        if self.link_down_between_at(a, b, earliest) {
+            return None;
+        }
+        Some(self.link_between(a, b).reserve(earliest, duration))
     }
 
     /// Number of nodes the resources model.
@@ -555,8 +680,10 @@ impl SchedResources {
     pub fn add_node(&mut self, cores: u32) -> usize {
         let idx = self.cpus.len();
         self.cpus.push(Timeline::new(format!("cpu-{idx}"), cores as usize));
+        self.ids.push(self.next_id);
+        self.next_id += 1;
         if let Some(links) = self.mesh.take() {
-            self.mesh = Some(Self::reindex_mesh(links, idx, idx + 1, &mut 0));
+            self.mesh = Some(Self::reindex_mesh(links, idx, idx + 1, self.link_capacity, &mut 0));
         }
         idx
     }
@@ -575,25 +702,61 @@ impl SchedResources {
     ///
     /// Panics if only one node remains.
     pub fn remove_last_node(&mut self) {
+        // `Nanos::MAX` as the cut instant: nothing counts as un-started,
+        // so no backlog migrates — the drained-node scale-in discipline
+        // the autoscaler already follows.
+        self.remove_node(self.cpus.len().saturating_sub(1), Nanos::MAX);
+    }
+
+    /// Shrinks the cluster by removing **any** node mid-stream — the
+    /// node-failure path. Work the victim had queued beyond `now` (each
+    /// lane's un-started remainder) migrates onto the least-loaded
+    /// survivors as fresh reservations at `now`; busy time already spent
+    /// stays in the retired totals so utilization accounting remains
+    /// monotone. Surviving timelines (and surviving mesh pairs) keep
+    /// their reservations; the victim's pair links retire with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one node remains or `victim` is out of range.
+    pub fn remove_node(&mut self, victim: usize, now: Nanos) {
         assert!(self.cpus.len() > 1, "a schedule needs at least one node");
-        let removed = self.cpus.pop().expect("len checked above");
-        self.retired_cpu_ns += removed.reserved_ns();
-        let new_n = self.cpus.len();
+        assert!(victim < self.cpus.len(), "victim {victim} out of range");
+        let removed = self.cpus.remove(victim);
+        self.ids.remove(victim);
+        // Migrate the un-started backlog: whatever each victim lane was
+        // committed to beyond `now` re-queues on the survivor whose
+        // earliest lane frees first (ties to the lowest index).
+        let mut migrated = 0;
+        for end in removed.lane_ends() {
+            let remainder = end.saturating_sub(now);
+            if remainder == 0 {
+                continue;
+            }
+            let target = (0..self.cpus.len())
+                .min_by_key(|&i| self.cpus[i].free_at())
+                .expect("at least one survivor");
+            self.cpus[target].reserve(now, remainder);
+            migrated += remainder;
+        }
+        self.retired_cpu_ns += removed.reserved_ns().saturating_sub(migrated);
+        let old_n = self.cpus.len() + 1;
         if let Some(links) = self.mesh.take() {
             let mut retired = 0;
-            self.mesh = Some(Self::reindex_mesh(links, new_n + 1, new_n, &mut retired));
+            self.mesh = Some(Self::reindex_mesh_removing(links, old_n, victim, &mut retired));
             self.retired_link_ns += retired;
         }
     }
 
     /// Rebuilds a flattened upper-triangular link mesh from `old_n` to
     /// `new_n` nodes: surviving pairs keep their timelines (reservations
-    /// intact), new pairs get fresh capacity-1 links, and dropped pairs'
-    /// reserved time accumulates into `retired_ns`.
+    /// intact), new pairs get fresh `link_capacity`-lane links, and
+    /// dropped pairs' reserved time accumulates into `retired_ns`.
     fn reindex_mesh(
         links: Vec<Timeline>,
         old_n: usize,
         new_n: usize,
+        link_capacity: usize,
         retired_ns: &mut Nanos,
     ) -> Vec<Timeline> {
         let mut old: Vec<Option<Timeline>> = links.into_iter().map(Some).collect();
@@ -605,8 +768,38 @@ impl SchedResources {
                         old[pair_index(old_n, a, b)].take().expect("each pair taken once"),
                     );
                 } else {
-                    out.push(Timeline::new(format!("link-{a}-{b}"), 1));
+                    out.push(Timeline::new(format!("link-{a}-{b}"), link_capacity));
                 }
+            }
+        }
+        *retired_ns += old
+            .iter()
+            .flatten()
+            .map(Timeline::reserved_ns)
+            .sum::<Nanos>();
+        out
+    }
+
+    /// Rebuilds the mesh after removing node `victim` from an `old_n`
+    /// cluster: each surviving pair maps back to its old timeline
+    /// (indices at or past the victim shift down by one), and every
+    /// pair touching the victim retires into `retired_ns`.
+    fn reindex_mesh_removing(
+        links: Vec<Timeline>,
+        old_n: usize,
+        victim: usize,
+        retired_ns: &mut Nanos,
+    ) -> Vec<Timeline> {
+        let mut old: Vec<Option<Timeline>> = links.into_iter().map(Some).collect();
+        let new_n = old_n - 1;
+        let mut out = Vec::with_capacity(new_n * new_n.saturating_sub(1) / 2);
+        for a in 0..new_n {
+            for b in a + 1..new_n {
+                let oa = a + usize::from(a >= victim);
+                let ob = b + usize::from(b >= victim);
+                out.push(
+                    old[pair_index(old_n, oa, ob)].take().expect("each pair taken once"),
+                );
             }
         }
         *retired_ns += old
@@ -996,6 +1189,119 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn removing_the_only_node_panics() {
         SchedResources::new(1, 2).remove_last_node();
+    }
+
+    #[test]
+    fn scale_out_on_a_capacity_2_mesh_yields_capacity_2_links() {
+        // Regression: reindex_mesh used to hardcode capacity 1 for
+        // fresh pair links, silently halving a wide mesh on scale-out.
+        let mut res = SchedResources::mesh_with_link_capacity(&[4, 4], 2);
+        assert_eq!(res.link_between(0, 1).capacity(), 2);
+        res.add_node(4);
+        for other in 0..2 {
+            assert_eq!(res.link_between(other, 2).capacity(), 2);
+            // Two transfers overlap; the third queues.
+            let a = res.link_between(other, 2).reserve(0, 1_000);
+            let b = res.link_between(other, 2).reserve(0, 1_000);
+            let c = res.link_between(other, 2).reserve(0, 1_000);
+            assert_eq!((a, b, c), (0, 0, 1_000));
+        }
+        // The surviving pair kept its lanes too.
+        assert_eq!(res.link_between(0, 1).capacity(), 2);
+    }
+
+    #[test]
+    fn cluster_link_lanes_reach_for_testbed() {
+        use crate::cluster::ClusterSpec;
+        let bed = ClusterSpec::homogeneous(3, 4, 1 << 30).link_lanes(2).build();
+        let mut res = SchedResources::for_testbed(&bed);
+        assert_eq!(res.link_between(0, 1).capacity(), 2);
+        res.add_node(4);
+        assert_eq!(res.link_between(0, 3).capacity(), 2);
+    }
+
+    #[test]
+    fn remove_node_migrates_unstarted_backlog_onto_survivors() {
+        let mut res = SchedResources::new(3, 1);
+        res.cpu(2).reserve(0, 1_000); // runs 0..1_000: half done at 500
+        res.cpu(0).reserve(0, 200);
+        let (total_before, _) = res.cpu_reserved();
+        res.remove_node(2, 500);
+        assert_eq!(res.node_count(), 2);
+        // 500 ns of un-started work re-queued at t=500 on the emptier
+        // survivor (node 1, idle).
+        assert_eq!(res.cpu(1).busy_until(), 1_000);
+        assert_eq!(res.cpu(0).busy_until(), 200);
+        // Totals conserved: migrated time moved, spent time retired.
+        assert_eq!(res.cpu_reserved().0, total_before);
+    }
+
+    #[test]
+    fn remove_node_reindexes_interior_victims() {
+        let mut res = SchedResources::mesh(&[2, 2, 2, 2]);
+        res.link_between(0, 3).reserve(0, 900);
+        res.link_between(1, 2).reserve(0, 400);
+        res.cpu(3).reserve(0, 777);
+        res.remove_node(1, Nanos::MAX);
+        assert_eq!(res.node_count(), 3);
+        // Old pair (0,3) is now (0,2); old (2,3) is (1,2); the victim's
+        // pairs retired.
+        assert_eq!(res.link_between(0, 2).busy_until(), 900);
+        assert_eq!(res.link_between(1, 2).busy_until(), 0);
+        assert_eq!(res.link_reserved().0, 900 + 400);
+        // Old node 3 (now index 2) kept its CPU reservations.
+        assert_eq!(res.cpu(2).busy_until(), 777);
+    }
+
+    #[test]
+    fn stable_ids_survive_resizing() {
+        let mut res = SchedResources::new(3, 2);
+        assert_eq!(res.node_id(1), 1);
+        res.remove_node(1, Nanos::MAX);
+        // Indices shifted, ids did not.
+        assert_eq!(res.node_id(0), 0);
+        assert_eq!(res.node_id(1), 2);
+        assert_eq!(res.node_index_of(2), Some(1));
+        assert_eq!(res.node_index_of(1), None);
+        // Fresh nodes get fresh ids, never recycling the dead one's.
+        let idx = res.add_node(2);
+        assert_eq!(res.node_id(idx), 3);
+    }
+
+    #[test]
+    fn try_reserve_rejects_during_outages_and_degrades_without_a_schedule() {
+        use crate::outage::OutageSchedule;
+        let mut res = SchedResources::mesh(&[2, 2]);
+        // No schedule attached: try_reserve is a plain reserve.
+        assert_eq!(res.try_reserve_cpu(0, 10, 100), Some(10));
+        let schedule =
+            OutageSchedule::new().node_down(1, 1_000, 2_000).link_down(0, 1, 5_000, 6_000);
+        res.set_outages(Arc::new(schedule));
+        // Node 1 down during its window; node 0 unaffected.
+        assert_eq!(res.try_reserve_cpu(1, 1_500, 100), None);
+        assert!(res.node_down_at(1, 1_500));
+        assert_eq!(res.try_reserve_cpu(0, 1_500, 100), Some(1_500));
+        assert_eq!(res.try_reserve_cpu(1, 2_000, 100), Some(2_000));
+        // The link is down in its own window and while an endpoint is.
+        assert_eq!(res.try_reserve_link(0, 1, 5_500, 100), None);
+        assert_eq!(res.try_reserve_link(0, 1, 1_500, 100), None);
+        let granted = res.try_reserve_link(0, 1, 6_000, 100);
+        assert_eq!(granted, Some(6_000));
+        // Rejected attempts reserved nothing.
+        assert_eq!(res.cpu(1).reserved_ns(), 100);
+        assert!(res.outages().is_some());
+    }
+
+    #[test]
+    fn outage_ids_follow_nodes_across_removal() {
+        use crate::outage::OutageSchedule;
+        let mut res = SchedResources::new(3, 1);
+        res.set_outages(Arc::new(OutageSchedule::new().node_down(2, 100, 200)));
+        // Remove node 0: the scheduled node shifts to index 1 but keeps
+        // id 2, and the schedule keeps tracking it.
+        res.remove_node(0, Nanos::MAX);
+        assert!(res.node_down_at(1, 150));
+        assert!(!res.node_down_at(0, 150));
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct Testbed {
     /// Per-pair links (upper-triangular order) for cluster-built
     /// testbeds; `None` means every inter-node pair shares `wan`.
     pair_links: Option<Vec<Arc<Link>>>,
+    /// Scheduling lanes per pair link — how many transfers a pair
+    /// carries concurrently before they queue. Mirrored into
+    /// [`SchedResources::for_testbed`](crate::sched::SchedResources::for_testbed).
+    link_lanes: usize,
     loopbacks: Vec<Arc<Link>>,
 }
 
@@ -52,7 +56,7 @@ impl Testbed {
             cost.mtu_bytes,
         );
         let loopbacks = (0..node_count).map(|i| Link::loopback(format!("lo-{i}"))).collect();
-        Self { clock, cost, nodes, wan, pair_links: None, loopbacks }
+        Self { clock, cost, nodes, wan, pair_links: None, link_lanes: 1, loopbacks }
     }
 
     /// Assembles a cluster testbed: heterogeneous nodes plus one link per
@@ -62,6 +66,7 @@ impl Testbed {
         specs: Vec<crate::cluster::NodeSpec>,
         cost: CostModel,
         pair_links: Vec<Arc<Link>>,
+        link_lanes: usize,
     ) -> Self {
         assert!(!specs.is_empty(), "a testbed needs at least one node");
         debug_assert_eq!(pair_links.len(), specs.len() * specs.len().saturating_sub(1) / 2);
@@ -87,13 +92,19 @@ impl Testbed {
             Link::new("wan", cost.net_bandwidth_bps, cost.net_rtt_ns, cost.mtu_bytes)
         });
         let loopbacks = (0..specs.len()).map(|i| Link::loopback(format!("lo-{i}"))).collect();
-        Self { clock, cost, nodes, wan, pair_links: Some(pair_links), loopbacks }
+        Self { clock, cost, nodes, wan, pair_links: Some(pair_links), link_lanes, loopbacks }
     }
 
     /// Whether this testbed carries one link per node pair (cluster
     /// layout) rather than a single shared WAN.
     pub fn has_pair_links(&self) -> bool {
         self.pair_links.is_some()
+    }
+
+    /// Scheduling lanes per pair link (1 unless the cluster spec raised
+    /// it with [`ClusterSpec::link_lanes`](crate::cluster::ClusterSpec::link_lanes)).
+    pub fn link_lanes(&self) -> usize {
+        self.link_lanes
     }
 
     /// The paper's two-node edge–cloud testbed (§6.2).
