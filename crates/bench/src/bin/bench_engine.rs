@@ -47,7 +47,7 @@ use bytes::Bytes;
 use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
 use roadrunner_bench::{quick_flag, MB};
 use roadrunner_platform::{
-    execute, execute_compiled, execute_compiled_at, execute_concurrent_at, Autoscaler,
+    execute, execute_compiled, execute_compiled_at, execute_concurrent_at, AdmissionConfig, Autoscaler,
     AutoscalerConfig, ClosedLoop, CompiledWorkflow, DataPlane, FunctionBundle, LoadRun,
     MemoizedPlane, OpenLoop, WorkflowSpec,
 };
@@ -266,7 +266,7 @@ fn main() {
             payload: payload.clone(),
             arrivals: ArrivalProcess::Uniform { interval_ns: (solo_ns / 2).max(1) },
             instances: open_n,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         // Baseline = the unmemoized engine: loadgen's compiled-workflow
         // and scratch-view savings apply to both sides here, so this row
@@ -302,7 +302,7 @@ fn main() {
             think_ns: solo_ns / 4,
             ramp_ns: solo_ns / 4,
             instances: users * rounds,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         let run_closed = |plane: &mut dyn DataPlane| {
             let mut policy = PackThenSpill::new(solo_ns);
@@ -373,7 +373,7 @@ fn main() {
                     seed,
                 },
                 instances: job_n,
-                cold_start_ns: None,
+                admission: AdmissionConfig::warm(),
             };
             let mut policy = LocalityFirst::new();
             let mut resources = SchedResources::mesh(&[CORES; NODES]);

@@ -32,7 +32,7 @@ use bytes::Bytes;
 use roadrunner::{guest, RoadrunnerPlane, ShimConfig};
 use roadrunner_baselines::{RuncPair, WasmedgePair};
 use roadrunner_platform::{
-    execute, execute_concurrent, replicate, sweep, ArrivalProcess, DataPlane, FunctionBundle,
+    execute, execute_concurrent, replicate, sweep, AdmissionConfig, ArrivalProcess, DataPlane, FunctionBundle,
     LocalityFirst, MemoizedPlane, OpenLoop, PercentileSummary, PlacementPolicy, ReplicatedStat,
     SpreadLoad, SweepGrid, SweepMode, SweepPoint, WorkflowSpec,
 };
@@ -198,7 +198,7 @@ fn run_point(point: &SweepPoint, instances: usize, memo: bool) -> PointResult {
             payload: payload.clone(),
             arrivals,
             instances,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         // The load sweep admits identical instances: the transfer-cost
         // memo computes each distinct edge once and replays it.

@@ -22,7 +22,7 @@ use roadrunner_baselines::coldstart::{
 };
 use roadrunner_baselines::{RuncPair, WasmedgePair};
 use roadrunner_platform::{
-    execute, execute_concurrent, run_jobs, Autoscaler, AutoscalerConfig, ClosedLoop, DataPlane,
+    execute, execute_concurrent, run_jobs, AdmissionConfig, Autoscaler, AutoscalerConfig, ClosedLoop, DataPlane,
     FunctionBundle, LoadRun, LocalityFirst, MemoizedPlane, PackThenSpill, PlacementPolicy,
     SweepMode, WorkflowSpec,
 };
@@ -98,7 +98,7 @@ pub(crate) struct SystemUnderLoad {
     /// and threshold base).
     pub(crate) solo_ns: Nanos,
     /// Fig. 2a-style cold-start cost of one function of this system.
-    cold_ns: Nanos,
+    pub(crate) cold_ns: Nanos,
 }
 
 /// The three systems, co-located, warmed, with their solo makespans
@@ -186,7 +186,7 @@ fn run_cell(system: &mut SystemUnderLoad, bed: &Arc<Testbed>, payload: &Bytes, j
         think_ns: solo / 4,
         ramp_ns: solo / 4,
         instances: users * rounds,
-        cold_start_ns: cold.then_some(system.cold_ns),
+        admission: if cold { AdmissionConfig::cold(system.cold_ns) } else { AdmissionConfig::warm() },
     };
     let mut policy = policy_of(policy_name, solo);
     let mut resources = SchedResources::mesh(&[CORES; START_NODES]);
@@ -272,6 +272,7 @@ fn cell_json(system: &str, solo_ns: Nanos, job: &Job, run: &LoadRun) -> String {
                     roadrunner_platform::ScaleAction::Up => "up",
                     roadrunner_platform::ScaleAction::Down => "down",
                     roadrunner_platform::ScaleAction::Replace => "replace",
+                    roadrunner_platform::ScaleAction::Prewarm => "prewarm",
                 },
                 e.nodes_after,
             )

@@ -40,7 +40,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use roadrunner_platform::{
-    run_jobs, Autoscaler, AutoscalerConfig, ClosedLoop, DataPlane, FailurePlan, LoadRun,
+    run_jobs, AdmissionConfig, Autoscaler, AutoscalerConfig, ClosedLoop, DataPlane, FailurePlan, LoadRun,
     LocalityFirst, MemoizedPlane, PlacementPolicy, RetryPolicy, ScaleAction, SpreadLoad,
     SweepMode,
 };
@@ -131,7 +131,7 @@ fn shape(system: &SystemUnderLoad, payload: &Bytes, job: Job) -> CellShape {
             // ramped, saturated cluster, not the arrival transient.
             ramp_ns: solo / 8,
             instances: job.users * job.rounds,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         },
         cycle_ns: cycle,
         kill_at_ns: 4 * cycle,

@@ -15,6 +15,7 @@
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod fig15;
 
 use std::sync::Arc;
 

@@ -1,0 +1,103 @@
+//! Micro-benchmarks for warm-pool admission's hot primitives.
+//!
+//! Pooled admission sits on the load engine's per-arrival path: every
+//! instance pays one `admit` (LIFO slot scan + lazy eviction) and one
+//! `complete` (return + cap enforcement), and pre-warming pays
+//! `ensure_target` sweeps across every function's slots. These track
+//! the cost of that bookkeeping so a pool-model regression shows up
+//! here before it shows up in `fig15_coldstart` wall time.
+//!
+//! Run: `cargo bench -p roadrunner-platform`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use roadrunner_platform::{KeepAlive, WarmPool, WarmPoolConfig};
+use roadrunner_vkernel::sched::SchedResources;
+
+const OPS: u64 = 10_000;
+const NODES: usize = 8;
+const FUNCTIONS: usize = 4;
+
+fn pool_config(keep_alive: KeepAlive) -> WarmPoolConfig {
+    WarmPoolConfig { restore_ns: Some(50), keep_alive, ..WarmPoolConfig::default() }
+}
+
+/// Steady-state hit/return cycling: every admit finds a warm instance,
+/// every complete returns it — the fast path a well-staffed pool serves.
+fn bench_admit_hit_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warmpool_admit");
+    group.throughput(Throughput::Elements(OPS));
+    for keep_alive in
+        [KeepAlive::FixedTtl { ttl_ns: u64::MAX }, KeepAlive::Hybrid { min_ttl_ns: 1, max_ttl_ns: u64::MAX }]
+    {
+        let label = match keep_alive {
+            KeepAlive::Hybrid { .. } => "hit_cycle_hybrid",
+            _ => "hit_cycle_ttl",
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut pool = WarmPool::new(1_000, pool_config(keep_alive), FUNCTIONS);
+                let mut res = SchedResources::mesh(&[4; NODES]);
+                let assignment: Vec<usize> = (0..FUNCTIONS).map(|f| f % NODES).collect();
+                // Seed each slot once, then cycle hit → return.
+                pool.complete(0, &assignment);
+                let mut hits = 0u64;
+                for i in 0..OPS {
+                    let now = 10 + i * 7;
+                    let admitted = pool.admit(now, &assignment, &mut res);
+                    hits += u64::from(admitted.hits);
+                    pool.complete(now + 5, &assignment);
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Miss-heavy churn with a short TTL: every admission expires the slot,
+/// instantiates on the CPU timeline, and the return is evicted before
+/// the next arrival — the pool's worst-case bookkeeping path.
+fn bench_eviction_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warmpool_evict");
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("miss_evict_churn", |b| {
+        b.iter(|| {
+            let keep_alive = KeepAlive::FixedTtl { ttl_ns: 3 };
+            let mut pool = WarmPool::new(1_000, pool_config(keep_alive), FUNCTIONS);
+            let mut res = SchedResources::mesh(&[4; NODES]);
+            let assignment: Vec<usize> = (0..FUNCTIONS).map(|f| f % NODES).collect();
+            for i in 0..OPS {
+                // Arrivals spaced past the TTL: everything idles out.
+                let now = i * 1_000;
+                black_box(pool.admit(now, &assignment, &mut res));
+                pool.complete(now + 5, &assignment);
+            }
+            pool.stats().evictions
+        })
+    });
+    group.finish();
+}
+
+/// Background staffing sweeps: `ensure_target` walks every function's
+/// slots, expires the dead, and tops the pool back up round-robin.
+fn bench_ensure_target(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warmpool_prewarm");
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("ensure_target_sweep", |b| {
+        b.iter(|| {
+            let keep_alive = KeepAlive::FixedTtl { ttl_ns: 500 };
+            let mut pool = WarmPool::new(1_000, pool_config(keep_alive), FUNCTIONS);
+            let mut res = SchedResources::mesh(&[4; NODES]);
+            for i in 0..OPS {
+                // TTL 500 with 1 µs steps: each sweep evicts the prior
+                // round's staffing and rebuilds it.
+                pool.ensure_target(i * 1_000, 4, 1, &mut res);
+            }
+            pool.stats().prewarms
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_admit_hit_cycle, bench_eviction_churn, bench_ensure_target);
+criterion_main!(benches);

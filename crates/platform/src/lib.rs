@@ -30,6 +30,12 @@
 //!   [`ResourceView`](roadrunner_vkernel::ResourceView), optional
 //!   cold-start admission, and a backlog-driven [`loadgen::Autoscaler`]
 //!   resizing capacity mid-run.
+//! * [`warmpool`] — warm-instance management for cold-start admission:
+//!   a deterministic per-(function, node) [`warmpool::WarmPool`] with
+//!   snapshot-restore tiering, keep-alive eviction
+//!   ([`warmpool::KeepAlive`]: fixed TTL or hybrid histogram), and the
+//!   predictive pre-warming target the [`loadgen::Autoscaler`] staffs
+//!   via square-root staffing.
 //! * [`metrics`] — sample collection, summaries, latency percentile
 //!   digests (exact nearest-rank and streaming P²) and multi-seed
 //!   [`metrics::Replicated`] summaries with order-statistic confidence
@@ -70,6 +76,7 @@ pub mod metrics;
 pub mod registry;
 pub mod scheduler;
 pub mod sweep;
+pub mod warmpool;
 pub mod workflow;
 
 pub use bundle::{BundleKind, FunctionBundle, Manifest};
@@ -78,8 +85,9 @@ pub use deploy::{DeployedFunction, Deployment};
 pub use error::PlatformError;
 pub use loadgen::{
     ArrivalProcess, Autoscaler, AutoscalerConfig, ClosedLoop, FailurePlan, InstanceOutcome,
-    LoadRun, NodeKill, OpenLoop, Placed, ScaleAction, ScaleEvent,
+    LoadRun, NodeKill, OpenLoop, Placed, PrewarmConfig, ScaleAction, ScaleEvent,
 };
+pub use warmpool::{AdmissionConfig, Admitted, KeepAlive, PoolStats, WarmPool, WarmPoolConfig};
 pub use metrics::{
     percentiles, percentiles_sorted, replicate, MetricsCollector, P2Quantile, PercentileSummary,
     Replicated, ReplicatedStat, Sample, StreamingPercentiles, Summary, STREAMING_EXACT_MAX,

@@ -42,6 +42,7 @@ use roadrunner_vkernel::{Nanos, OutageSchedule, VirtualClock};
 use crate::error::PlatformError;
 use crate::metrics::{percentiles_sorted, PercentileSummary, StreamingPercentiles};
 use crate::scheduler::PlacementPolicy;
+use crate::warmpool::{AdmissionConfig, Admitted, PoolStats, WarmPool};
 use crate::workflow::{
     run_compiled_at, CompiledWorkflow, DataPlane, FaultyOutcome, RetryPolicy, TransferTiming,
     WorkflowSpec,
@@ -331,6 +332,12 @@ pub struct InstanceOutcome {
     /// Cold-start delay charged before the instance's edges could start
     /// (0 when every function was already warm on its node).
     pub cold_start_ns: Nanos,
+    /// Functions of this instance served warm out of the pool (always 0
+    /// without pooled admission).
+    pub pool_hits: u32,
+    /// Functions of this instance that had to instantiate — full build
+    /// or snapshot restore (always 0 without pooled admission).
+    pub pool_misses: u32,
     /// When the instance's last edge finished.
     pub finish_ns: Nanos,
     /// Sojourn time: `finish_ns - release_ns` (cold start + queueing +
@@ -374,6 +381,11 @@ pub enum ScaleAction {
     /// full window to restore known-lost capacity only deepens the
     /// backlog.
     Replace,
+    /// A predictive pre-warm decision: the square-root staffing target
+    /// rose and the warm pool was topped up ahead of demand. The node
+    /// count is unchanged; `signal_ns` carries the new staffing target
+    /// instead of a backlog signal.
+    Prewarm,
 }
 
 /// Aggregate result of one load-generation run (open- or closed-loop).
@@ -414,6 +426,9 @@ pub struct LoadRun {
     /// Failed edge attempts absorbed across all instances, completed
     /// ones included.
     pub retries: u64,
+    /// Warm-pool accounting (hits, misses, restores, evictions,
+    /// prewarms, idle residency); `None` without pooled admission.
+    pub pool: Option<PoolStats>,
     /// Lazily sorted sojourn sample, so repeated percentile queries below
     /// the streaming threshold sort the run once instead of per call.
     /// Filled on the first [`sojourn_percentiles`](Self::sojourn_percentiles)
@@ -518,10 +533,10 @@ pub struct OpenLoop {
     pub arrivals: ArrivalProcess,
     /// Number of instances to admit.
     pub instances: usize,
-    /// Fig. 2a-style cold-start cost charged (on the node's CPU
-    /// timeline) the first time each function lands on a node; `None`
-    /// admits every instance warm.
-    pub cold_start_ns: Option<Nanos>,
+    /// How instances are admitted: all-warm, the legacy fig. 2a
+    /// warm-set model, or a warm pool with keep-alive eviction (see
+    /// [`AdmissionConfig`]).
+    pub admission: AdmissionConfig,
 }
 
 impl OpenLoop {
@@ -590,7 +605,7 @@ impl OpenLoop {
                 releases: self.arrivals.times(self.instances),
                 mean_interval_ns: self.arrivals.mean_interval_ns(),
             },
-            self.cold_start_ns,
+            &self.admission,
             plane,
             clock,
             resources,
@@ -627,10 +642,10 @@ pub struct ClosedLoop {
     pub ramp_ns: Nanos,
     /// Total instances to admit across all users.
     pub instances: usize,
-    /// Fig. 2a-style cold-start cost charged (on the node's CPU
-    /// timeline) the first time each function lands on a node; `None`
-    /// admits every instance warm.
-    pub cold_start_ns: Option<Nanos>,
+    /// How instances are admitted: all-warm, the legacy fig. 2a
+    /// warm-set model, or a warm pool with keep-alive eviction (see
+    /// [`AdmissionConfig`]).
+    pub admission: AdmissionConfig,
 }
 
 impl ClosedLoop {
@@ -693,7 +708,7 @@ impl ClosedLoop {
                 ramp_ns: self.ramp_ns,
                 instances: self.instances,
             },
-            self.cold_start_ns,
+            &self.admission,
             plane,
             clock,
             resources,
@@ -718,8 +733,108 @@ enum Admission {
 /// or the control plane removing a node it detected dead.
 enum LoadEvent {
     Arrival { user: usize },
-    Completion { user: usize },
+    Completion { user: usize, instance: usize },
     NodeKill { node_id: u64 },
+}
+
+/// The engine's per-run admission state, resolved once from an
+/// [`AdmissionConfig`] — the single home of the cold-start wiring that
+/// [`OpenLoop`] and [`ClosedLoop`] used to duplicate.
+enum AdmissionState {
+    /// No cold starts: every instance admits at its arrival instant.
+    AllWarm,
+    /// The legacy fig. 2a model: the first (function, node) landing
+    /// pays the full cost and the pair stays warm for the whole run.
+    WarmSet { cold_ns: Nanos, warm: std::collections::HashSet<(usize, usize)> },
+    /// Warm-pool admission with keep-alive eviction (and, with a
+    /// prewarm-configured [`Autoscaler`], predictive pre-warming).
+    Pool(Box<WarmPool>),
+}
+
+impl AdmissionState {
+    fn new(cfg: &AdmissionConfig, functions: usize) -> Self {
+        match (cfg.cold_start_ns, &cfg.pool) {
+            (None, _) => Self::AllWarm,
+            (Some(cold_ns), None) => {
+                Self::WarmSet { cold_ns, warm: std::collections::HashSet::new() }
+            }
+            (Some(cold_ns), Some(pool)) => {
+                Self::Pool(Box::new(WarmPool::new(cold_ns, pool.clone(), functions)))
+            }
+        }
+    }
+
+    /// Admits one instance at `now`: charges whatever instantiation the
+    /// policy requires on the nodes' CPU timelines and returns the
+    /// (possibly delayed) release instant plus pool accounting.
+    fn admit(
+        &mut self,
+        now: Nanos,
+        assignment: &[usize],
+        resources: &mut SchedResources,
+    ) -> Admitted {
+        match self {
+            Self::AllWarm => Admitted { release_ns: now, hits: 0, misses: 0 },
+            Self::WarmSet { cold_ns, warm } => {
+                let mut release = now;
+                let cold = *cold_ns;
+                for (fi, &node) in assignment.iter().enumerate() {
+                    if warm.insert((fi, node)) {
+                        let start = resources.cpu(node).reserve(now, cold);
+                        release = release.max(start + cold);
+                    }
+                }
+                Admitted { release_ns: release, hits: 0, misses: 0 }
+            }
+            Self::Pool(pool) => pool.admit(now, assignment, resources),
+        }
+    }
+
+    /// A completed instance hands its warm functions back (pool only —
+    /// the warm set never gives anything back by construction).
+    fn complete(&mut self, finish: Nanos, assignment: &[usize]) {
+        if let Self::Pool(pool) = self {
+            pool.complete(finish, assignment);
+        }
+    }
+
+    /// Scale-in to `nodes` survivors: warmth on dropped indices dies
+    /// with them (a re-added index is a brand-new machine).
+    fn shrink_to(&mut self, nodes: usize, now: Nanos) {
+        match self {
+            Self::AllWarm => {}
+            Self::WarmSet { warm, .. } => warm.retain(|&(_, node)| node < nodes),
+            Self::Pool(pool) => pool.shrink_to(nodes, now),
+        }
+    }
+
+    /// A kill removed `victim` mid-run: its warmth dies, survivors
+    /// above it shift down one index.
+    fn remove_node(&mut self, victim: usize, now: Nanos) {
+        match self {
+            Self::AllWarm => {}
+            Self::WarmSet { warm, .. } => {
+                *warm = warm
+                    .iter()
+                    .filter_map(|&(fi, n)| match n.cmp(&victim) {
+                        std::cmp::Ordering::Less => Some((fi, n)),
+                        std::cmp::Ordering::Equal => None,
+                        std::cmp::Ordering::Greater => Some((fi, n - 1)),
+                    })
+                    .collect();
+            }
+            Self::Pool(pool) => pool.remove_node(victim, now),
+        }
+    }
+
+    /// Settles keep-alive fates at the run horizon and surrenders the
+    /// pool's accounting (None off the pool path).
+    fn finalize(self, end: Nanos) -> Option<PoolStats> {
+        match self {
+            Self::Pool(pool) => Some(pool.finalize(end)),
+            _ => None,
+        }
+    }
 }
 
 /// The shared completion-event engine behind [`OpenLoop`] and
@@ -736,7 +851,7 @@ fn drive(
     spec: &WorkflowSpec,
     payload: &Bytes,
     admission: Admission,
-    cold_start_ns: Option<Nanos>,
+    admission_cfg: &AdmissionConfig,
     plane: &mut dyn DataPlane,
     clock: &VirtualClock,
     resources: &mut SchedResources,
@@ -802,8 +917,11 @@ fn drive(
     // Link-health epoch last pushed into the plane (see the memo): only
     // transitions move it, so a failure-free run never calls the hook.
     let mut last_epoch: u64 = 0;
-    // Warm set for cold-start admission: (function index, node).
-    let mut warm: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    // Admission state (warm set or warm pool) resolved once per run.
+    let mut admission_state = AdmissionState::new(admission_cfg, fn_names.len());
+    // Instances currently in flight — the closed-loop demand estimate
+    // that predictive pre-warming staffs against.
+    let mut in_flight: usize = 0;
     let mut known_nodes = resources.node_count();
     // Time-weighted active-lane capacity (∫ lanes dt over the event
     // timeline) — the utilization denominators under elastic capacity.
@@ -844,11 +962,24 @@ fn drive(
             // removed node must re-pay its cold start if the index is
             // later re-added (a re-added node is a brand-new machine).
             if nodes_now < known_nodes {
-                warm.retain(|&(_, node)| node < nodes_now);
+                admission_state.shrink_to(nodes_now, now);
             }
             cpu_lanes = resources.cpu_lanes();
             link_lanes = resources.link_lanes();
             known_nodes = nodes_now;
+        }
+        // Predictive pre-warming: with both a prewarm-configured
+        // controller and pooled admission present, re-staff the pool
+        // toward the square-root staffing target at every event (not
+        // just on cooldown-gated decisions — evictions between
+        // decisions would otherwise leave the pool empty).
+        if let Some(scaler) = autoscaler.as_deref_mut() {
+            if let AdmissionState::Pool(pool) = &mut admission_state {
+                if let Some(target) = scaler.prewarm_target(now, in_flight, resources.node_count())
+                {
+                    pool.ensure_target(now, target, in_flight, resources);
+                }
+            }
         }
         match event {
             LoadEvent::Arrival { user } => {
@@ -856,18 +987,13 @@ fn drive(
                     resources.view_into(now, &mut view);
                 }
                 let assignment = policy.place(spec, &view);
-                // Charge cold starts: every (function, node) pair seen
-                // for the first time reserves the fig2a-style cost on
-                // the node's CPU, delaying this instance's release.
-                let mut release = now;
-                if let Some(cold) = cold_start_ns {
-                    for (fi, &node) in assignment.iter().enumerate() {
-                        if warm.insert((fi, node)) {
-                            let start = resources.cpu(node).reserve(now, cold);
-                            release = release.max(start + cold);
-                        }
-                    }
-                }
+                // Charge instantiation: warm-set misses reserve the
+                // fig2a-style full cost on the node's CPU; pool misses
+                // pay their tier (full build or snapshot restore) while
+                // hits admit warm. Either way a charged instance's
+                // release is delayed past the work.
+                let admitted = admission_state.admit(now, &assignment, resources);
+                let release = admitted.release_ns;
                 let mut placed =
                     InstancePlane { inner: plane, names: &fn_names, nodes: &assignment };
                 let outcome = run_compiled_at(
@@ -897,15 +1023,25 @@ fn drive(
                     user,
                     release_ns: now,
                     cold_start_ns: release - now,
+                    pool_hits: admitted.hits,
+                    pool_misses: admitted.misses,
                     finish_ns: finish,
                     sojourn_ns: finish - now,
                     assignment,
                     failed,
                     retries,
                 });
-                queue.push(finish, LoadEvent::Completion { user });
+                in_flight += 1;
+                queue.push(finish, LoadEvent::Completion { user, instance });
             }
-            LoadEvent::Completion { user } => {
+            LoadEvent::Completion { user, instance } => {
+                in_flight = in_flight.saturating_sub(1);
+                // A completed instance hands its functions back to the
+                // pool; a failed one is torn down where it died, so it
+                // returns nothing.
+                if !outcomes[instance].failed {
+                    admission_state.complete(now, &outcomes[instance].assignment);
+                }
                 // Closed loop: the freed user thinks, then re-arrives —
                 // the arrival is gated on this completion by
                 // construction.
@@ -925,14 +1061,7 @@ fn drive(
                 if let Some(victim) = resources.node_index_of(node_id) {
                     if resources.node_count() > 1 {
                         resources.remove_node(victim, now);
-                        warm = warm
-                            .iter()
-                            .filter_map(|&(fi, n)| match n.cmp(&victim) {
-                                std::cmp::Ordering::Less => Some((fi, n)),
-                                std::cmp::Ordering::Equal => None,
-                                std::cmp::Ordering::Greater => Some((fi, n - 1)),
-                            })
-                            .collect();
+                        admission_state.remove_node(victim, now);
                         cpu_lanes = resources.cpu_lanes();
                         link_lanes = resources.link_lanes();
                         known_nodes = resources.node_count();
@@ -945,6 +1074,10 @@ fn drive(
     let first = outcomes.first().map(|o| o.release_ns).unwrap_or(0);
     let last = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(first);
     let horizon_ns = last - first;
+    // Keep-alive fates settle at the run horizon: still-warm instances
+    // whose TTL would expire by then count as evictions, the rest stay
+    // warm at end (so the idle-residency integral is complete).
+    let pool = admission_state.finalize(last);
     let (cpu1, _) = resources.cpu_reserved();
     let (link1, _) = resources.link_reserved();
     let util = |used: Nanos, lane_ns: u128| {
@@ -974,6 +1107,7 @@ fn drive(
         failed: failed_count,
         retries: total_retries,
         offered_rps,
+        pool,
         cpu_utilization: util(cpu1 - cpu0, cpu_lane_ns),
         link_utilization: util(link1 - link0, link_lane_ns),
         scale_events: autoscaler.map(|a| a.events().to_vec()).unwrap_or_default(),
@@ -1009,6 +1143,25 @@ pub struct AutoscalerConfig {
     pub window_ns: Nanos,
 }
 
+/// Predictive pre-warming configuration (see
+/// [`Autoscaler::with_prewarm`]).
+///
+/// The controller watches the engine's in-flight demand estimate,
+/// extrapolates it `lead_ns` ahead along the observed slope, and staffs
+/// the warm pool to `ceil(demand + headroom·√demand)` — Erlang-style
+/// square-root staffing, the classic safety-capacity rule for keeping
+/// wait probability flat as demand grows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrewarmConfig {
+    /// Square-root staffing headroom β in `ceil(d + β·√d)`.
+    pub headroom: f64,
+    /// How far ahead demand is extrapolated along the observed slope.
+    pub lead_ns: Nanos,
+    /// Demand-observation window; also the minimum gap between two
+    /// staffing-target *increases* (the prewarm cooldown).
+    pub window_ns: Nanos,
+}
+
 /// The elastic controller: watches the windowed mean-backlog signal from
 /// live [`ResourceView`] snapshots and resizes the [`SchedResources`]
 /// between instances.
@@ -1034,6 +1187,16 @@ pub struct Autoscaler {
     /// it means capacity was lost outside the controller — a killed
     /// node — and triggers replacement.
     expected_nodes: Option<usize>,
+    /// Predictive pre-warming; `None` leaves the controller scaling
+    /// nodes only.
+    prewarm: Option<PrewarmConfig>,
+    /// Sliding (time, in-flight) demand samples for the prewarm slope.
+    demand: Vec<(Nanos, usize)>,
+    /// The ratcheted square-root staffing target (only grows within a
+    /// run — bursty ramps re-cool between runs via [`reset`](Self::reset)).
+    prewarm_level: usize,
+    /// When the staffing target last rose (the prewarm cooldown anchor).
+    last_prewarm_ns: Option<Nanos>,
 }
 
 impl Autoscaler {
@@ -1053,7 +1216,28 @@ impl Autoscaler {
             last_decision_ns: 0,
             events: Vec::new(),
             expected_nodes: None,
+            prewarm: None,
+            demand: Vec::new(),
+            prewarm_level: 0,
+            last_prewarm_ns: None,
         }
+    }
+
+    /// Enables predictive pre-warming: square-root staffing on the
+    /// engine's in-flight demand estimate, emitting
+    /// [`ScaleAction::Prewarm`] events as the staffing target ratchets
+    /// up. Only effective when the run also uses pooled admission
+    /// ([`AdmissionConfig::pooled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is zero or `headroom` is negative.
+    #[must_use]
+    pub fn with_prewarm(mut self, prewarm: PrewarmConfig) -> Self {
+        assert!(prewarm.window_ns > 0, "a zero prewarm window would ratchet on every event");
+        assert!(prewarm.headroom >= 0.0, "negative staffing headroom is meaningless");
+        self.prewarm = Some(prewarm);
+        self
     }
 
     /// The configuration.
@@ -1073,6 +1257,45 @@ impl Autoscaler {
         self.last_decision_ns = 0;
         self.events.clear();
         self.expected_nodes = None;
+        self.demand.clear();
+        self.prewarm_level = 0;
+        self.last_prewarm_ns = None;
+    }
+
+    /// One prewarm observation at `now`: records the in-flight demand
+    /// sample, ratchets the square-root staffing target when the
+    /// `lead_ns`-ahead extrapolation warrants it (at most once per
+    /// cooldown window, traced as a [`ScaleAction::Prewarm`] event),
+    /// and returns the current target for the engine to staff the pool
+    /// to. `None` when pre-warming is unconfigured or the target is
+    /// still zero.
+    fn prewarm_target(&mut self, now: Nanos, in_flight: usize, nodes: usize) -> Option<usize> {
+        let cfg = self.prewarm?;
+        self.demand.push((now, in_flight));
+        let cutoff = now.saturating_sub(cfg.window_ns);
+        self.demand.retain(|&(t, _)| t >= cutoff);
+        let (_, d0) = self.demand[0];
+        // Normalise over the full window, not the observed sample span:
+        // two samples landing nanoseconds apart would otherwise produce
+        // an unbounded slope and ratchet the staffing level into the
+        // hundreds from a single coincident-arrival tie.
+        let slope = (in_flight as f64 - d0 as f64) / cfg.window_ns as f64;
+        let predicted = (in_flight as f64 + slope.max(0.0) * cfg.lead_ns as f64).max(0.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let candidate = (predicted + cfg.headroom * predicted.sqrt()).ceil() as usize;
+        let cooled =
+            self.last_prewarm_ns.is_none_or(|t| now.saturating_sub(t) >= cfg.window_ns);
+        if candidate > self.prewarm_level && cooled {
+            self.prewarm_level = candidate;
+            self.last_prewarm_ns = Some(now);
+            self.events.push(ScaleEvent {
+                at_ns: now,
+                action: ScaleAction::Prewarm,
+                nodes_after: nodes,
+                signal_ns: candidate as Nanos,
+            });
+        }
+        (self.prewarm_level > 0).then_some(self.prewarm_level)
     }
 
     /// One observation at virtual time `now`: record the live backlog
@@ -1216,7 +1439,7 @@ mod tests {
             payload: Bytes::new(),
             arrivals: ArrivalProcess::Uniform { interval_ns },
             instances,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         }
     }
 
@@ -1391,7 +1614,7 @@ mod tests {
             think_ns: 400,
             ramp_ns: 0,
             instances: 8,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         let mut res = SchedResources::new(2, 4);
         let mut policy = LocalityFirst::new();
@@ -1421,7 +1644,7 @@ mod tests {
             think_ns: 0,
             ramp_ns: 0,
             instances: 12,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         let mut res = SchedResources::new(1, 1);
         let mut policy = LocalityFirst::new();
@@ -1449,7 +1672,7 @@ mod tests {
             think_ns: 100,
             ramp_ns: 0,
             instances: 3,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         let mut res = SchedResources::new(2, 4);
         let mut policy = LocalityFirst::new();
@@ -1463,7 +1686,7 @@ mod tests {
         let mut plane = FixedPlane::new(clock.clone());
         let spec = pipeline_spec();
         let mut load = open(spec, 1_000_000, 3);
-        load.cold_start_ns = Some(50_000);
+        load.admission = AdmissionConfig::cold(50_000);
         let mut res = SchedResources::new(2, 4);
         let mut policy = LocalityFirst::new();
         let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
@@ -1490,7 +1713,7 @@ mod tests {
             think_ns: 0,
             ramp_ns: 0,
             instances: 4,
-            cold_start_ns: Some(10_000),
+            admission: AdmissionConfig::cold(10_000),
         };
         let mut res = SchedResources::new(4, 4);
         let mut policy = crate::scheduler::RoundRobin::new();
@@ -1589,7 +1812,7 @@ mod tests {
             think_ns: 6_000,
             ramp_ns: 0,
             instances: 4,
-            cold_start_ns: Some(1_000),
+            admission: AdmissionConfig::cold(1_000),
         };
         let mut res = SchedResources::heterogeneous(&[1, 1]);
         let mut policy = LocalityFirst::new();
@@ -1778,7 +2001,7 @@ mod tests {
             think_ns: 200,
             ramp_ns: 0,
             instances: 30,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         // Thresholds no backlog signal can cross: the only decisions
         // this controller ever takes are replacements.
@@ -1866,7 +2089,7 @@ mod tests {
             think_ns: 300,
             ramp_ns: 0,
             instances: 6,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         let run = closed
             .run_with_failures(&mut plane, &clock, &mut res, &mut policy, None, Some(&plan))

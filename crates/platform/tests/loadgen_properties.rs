@@ -6,7 +6,7 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use roadrunner_platform::{
-    ArrivalProcess, ClosedLoop, DataPlane, InstanceOutcome, LocalityFirst, OpenLoop,
+    AdmissionConfig, ArrivalProcess, ClosedLoop, DataPlane, InstanceOutcome, LocalityFirst, OpenLoop,
     PlatformError, TransferTiming, WorkflowSpec,
 };
 use roadrunner_vkernel::{Nanos, SchedResources, VirtualClock};
@@ -83,7 +83,7 @@ proptest! {
             think_ns,
             ramp_ns,
             instances: users * rounds,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         let mut res = SchedResources::new(nodes, cores);
         let mut policy = LocalityFirst::new();
@@ -115,7 +115,7 @@ proptest! {
             think_ns,
             ramp_ns,
             instances: users * rounds,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         let mut res = SchedResources::new(2, 2);
         let mut policy = LocalityFirst::new();
@@ -157,7 +157,7 @@ proptest! {
             payload: Bytes::new(),
             arrivals: ArrivalProcess::Uniform { interval_ns },
             instances,
-            cold_start_ns: None,
+            admission: AdmissionConfig::warm(),
         };
         let mut res = SchedResources::new(2, 2);
         let mut policy = LocalityFirst::new();

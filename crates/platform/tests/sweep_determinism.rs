@@ -18,7 +18,7 @@ use std::collections::HashSet;
 use bytes::Bytes;
 use proptest::prelude::*;
 use roadrunner_platform::{
-    sweep, ArrivalProcess, DataPlane, LoadRun, LocalityFirst, OpenLoop, PackThenSpill,
+    sweep, AdmissionConfig, ArrivalProcess, DataPlane, LoadRun, LocalityFirst, OpenLoop, PackThenSpill,
     PlacementPolicy, PlatformError, RoundRobin, SpreadLoad, SweepGrid, SweepMode, SweepPoint,
     TransferTiming, WorkflowDag, WorkflowSpec,
 };
@@ -167,7 +167,7 @@ fn run_point(point: &SweepPoint, dag_seed: u64, fill: u8) -> String {
             seed: point.seed,
         },
         instances: 5,
-        cold_start_ns: None,
+        admission: AdmissionConfig::warm(),
     };
     let run = load.run(&mut plane, &clock, &mut resources, policy.as_mut()).expect("run");
     serialize_run(point, &run)

@@ -19,7 +19,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use roadrunner_platform::{
-    ArrivalProcess, ClosedLoop, DataPlane, FailurePlan, LoadRun, OpenLoop, PlatformError,
+    AdmissionConfig, ArrivalProcess, ClosedLoop, DataPlane, FailurePlan, LoadRun, OpenLoop, PlatformError,
     RetryPolicy, SpreadLoad, TransferTiming, WorkflowDag, WorkflowSpec,
 };
 use roadrunner_vkernel::{Nanos, OutageSchedule, SchedResources, VirtualClock};
@@ -196,7 +196,7 @@ proptest! {
                 think_ns: 2_000,
                 ramp_ns: 700,
                 instances,
-                cold_start_ns: None,
+                admission: AdmissionConfig::warm(),
             };
             load.run_with_failures(
                 &mut plane, &clock, &mut resources, &mut policy, None, Some(&plan),
@@ -243,7 +243,7 @@ proptest! {
                 payload: payload.clone(),
                 arrivals: ArrivalProcess::Poisson { mean_interval_ns: 3_000, seed },
                 instances,
-                cold_start_ns: Some(10_000),
+                admission: AdmissionConfig::cold(10_000),
             };
             load.run_with_failures(&mut plane, &clock, &mut resources, &mut policy, None, plan)
                 .unwrap()
