@@ -16,6 +16,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod fig16;
 
 use std::sync::Arc;
 

@@ -36,6 +36,11 @@
 //!   ([`warmpool::KeepAlive`]: fixed TTL or hybrid histogram), and the
 //!   predictive pre-warming target the [`loadgen::Autoscaler`] staffs
 //!   via square-root staffing.
+//! * [`overload`] — the overload-control layer: per-instance deadlines,
+//!   deterministic per-(tenant, function, node) retry budgets and
+//!   circuit breakers, and the bounded-queue shedding policies the load
+//!   engine applies at admission. All knobs default off; breakers steer
+//!   placement through the `ResourceView` backlog seam.
 //! * [`metrics`] — sample collection, summaries, latency percentile
 //!   digests (exact nearest-rank and streaming P²) and multi-seed
 //!   [`metrics::Replicated`] summaries with order-statistic confidence
@@ -73,6 +78,7 @@ pub mod error;
 pub mod loadgen;
 pub mod memo;
 pub mod metrics;
+pub mod overload;
 pub mod registry;
 pub mod scheduler;
 pub mod sweep;
@@ -85,12 +91,17 @@ pub use deploy::{DeployedFunction, Deployment};
 pub use error::PlatformError;
 pub use loadgen::{
     ArrivalProcess, Autoscaler, AutoscalerConfig, ClosedLoop, FailurePlan, InstanceOutcome,
-    LoadRun, NodeKill, OpenLoop, Placed, PrewarmConfig, ScaleAction, ScaleEvent,
+    LoadRun, MultiLoad, NodeKill, OpenLoop, Placed, PrewarmConfig, ScaleAction, ScaleEvent,
+    TenantLoad, TenantStats,
 };
 pub use warmpool::{AdmissionConfig, Admitted, KeepAlive, PoolStats, WarmPool, WarmPoolConfig};
 pub use metrics::{
     percentiles, percentiles_sorted, replicate, MetricsCollector, P2Quantile, PercentileSummary,
     Replicated, ReplicatedStat, Sample, StreamingPercentiles, Summary, STREAMING_EXACT_MAX,
+};
+pub use overload::{
+    BreakerConfig, OverloadConfig, OverloadState, QueueConfig, RetryBudgetConfig, ShedPolicy,
+    RETRY_COST_MILLITOKENS,
 };
 pub use registry::FunctionRegistry;
 pub use scheduler::{

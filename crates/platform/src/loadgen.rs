@@ -33,6 +33,7 @@
 //! grows/shrinks the active node set through the resizable
 //! [`SchedResources`] — capacity changes mid-run, between instances.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -41,6 +42,7 @@ use roadrunner_vkernel::{Nanos, OutageSchedule, VirtualClock};
 
 use crate::error::PlatformError;
 use crate::metrics::{percentiles_sorted, PercentileSummary, StreamingPercentiles};
+use crate::overload::{OverloadConfig, OverloadCtl, OverloadState, ShedPolicy};
 use crate::scheduler::PlacementPolicy;
 use crate::warmpool::{AdmissionConfig, Admitted, PoolStats, WarmPool};
 use crate::workflow::{
@@ -346,9 +348,16 @@ pub struct InstanceOutcome {
     pub sojourn_ns: Nanos,
     /// The nodes the policy assigned, indexed by DAG node.
     pub assignment: Vec<usize>,
+    /// Tenant (workload lane) index the instance belongs to; 0 for
+    /// every single-tenant driver.
+    pub tenant: usize,
     /// Whether the instance failed (an edge exhausted its retry budget
     /// under the run's [`FailurePlan`]). Always `false` without one.
     pub failed: bool,
+    /// Whether the instance aborted on its overload-control deadline
+    /// (distinct from `failed`: the work was shed as stale, not
+    /// exhausted). Always `false` without a configured deadline.
+    pub deadline_exceeded: bool,
     /// Failed edge attempts the instance absorbed (0 when every edge
     /// succeeded first try).
     pub retries: u32,
@@ -421,8 +430,20 @@ pub struct LoadRun {
     pub final_nodes: usize,
     /// Instances that failed after exhausting their retries (0 without
     /// a [`FailurePlan`]). Conservation: `outcomes.len()` admitted ==
-    /// completed + `failed`.
+    /// completed + `failed` + `deadline_exceeded`.
     pub failed: usize,
+    /// Arrivals the run saw, admitted or not. Conservation:
+    /// `arrivals == outcomes.len() + shed`.
+    pub arrivals: usize,
+    /// Arrivals shed at the bounded admission queue (0 without an
+    /// overload [`QueueConfig`](crate::overload::QueueConfig)).
+    pub shed: usize,
+    /// Instances that aborted on their overload-control deadline (0
+    /// without a configured deadline).
+    pub deadline_exceeded: usize,
+    /// Per-tenant accounting, indexed by tenant lane; single-tenant
+    /// drivers produce exactly one entry.
+    pub tenants: Vec<TenantStats>,
     /// Failed edge attempts absorbed across all instances, completed
     /// ones included.
     pub retries: u64,
@@ -461,15 +482,19 @@ impl LoadRun {
         self.completed() as f64 * 1e9 / self.horizon_ns as f64
     }
 
-    /// Instances that completed (admitted minus failed-after-retries).
+    /// Instances that completed (admitted minus failed-after-retries
+    /// minus deadline-exceeded aborts).
     pub fn completed(&self) -> usize {
-        self.outcomes.len() - self.failed
+        self.outcomes.len() - self.failed - self.deadline_exceeded
     }
 
     /// Instances that completed only after absorbing at least one
     /// retry.
     pub fn retried(&self) -> usize {
-        self.outcomes.iter().filter(|o| !o.failed && o.retries > 0).count()
+        self.outcomes
+            .iter()
+            .filter(|o| !o.failed && !o.deadline_exceeded && o.retries > 0)
+            .count()
     }
 
     /// Sojourn-time percentile digest; `None` for an empty run. Uses the
@@ -479,12 +504,13 @@ impl LoadRun {
     /// sorted sample in the run, so the second and later queries are
     /// rank lookups, not fresh sorts.
     pub fn sojourn_percentiles(&self) -> Option<PercentileSummary> {
-        // Failed instances never delivered: their time-in-system is not
-        // a sojourn, so the digest covers completed instances only
-        // (everything, in a run without failures).
+        // Failed and deadline-exceeded instances never delivered: their
+        // time-in-system is not a sojourn, so the digest covers
+        // completed instances only (everything, in a run without
+        // failures).
         if self.completed() >= STREAMING_DIGEST_MIN {
             let mut digest = StreamingPercentiles::new();
-            for o in self.outcomes.iter().filter(|o| !o.failed) {
+            for o in self.outcomes.iter().filter(|o| !o.failed && !o.deadline_exceeded) {
                 digest.record(o.sojourn_ns);
             }
             digest.summary()
@@ -493,7 +519,7 @@ impl LoadRun {
                 let mut sojourns: Vec<Nanos> = self
                     .outcomes
                     .iter()
-                    .filter(|o| !o.failed)
+                    .filter(|o| !o.failed && !o.deadline_exceeded)
                     .map(|o| o.sojourn_ns)
                     .collect();
                 sojourns.sort_unstable();
@@ -518,6 +544,180 @@ impl LoadRun {
     /// Number of instances that paid a nonzero cold start.
     pub fn cold_starts(&self) -> usize {
         self.outcomes.iter().filter(|o| o.cold_start_ns > 0).count()
+    }
+}
+
+/// Per-tenant accounting of one load run: arrival/outcome conservation
+/// counters plus a streaming sojourn digest of the tenant's completed
+/// instances. Per-tenant digests merge into run-level rollups with
+/// [`StreamingPercentiles::merge`].
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant name (from [`TenantLoad::name`]; the spec's tenant for
+    /// single-tenant drivers).
+    pub name: String,
+    /// Arrivals the tenant offered, admitted or not. Conservation:
+    /// `arrivals == completed + failed + deadline_exceeded + shed`.
+    pub arrivals: usize,
+    /// Instances that completed.
+    pub completed: usize,
+    /// Instances that failed after exhausting retries.
+    pub failed: usize,
+    /// Instances that aborted on their deadline.
+    pub deadline_exceeded: usize,
+    /// Arrivals shed at the admission queue.
+    pub shed: usize,
+    /// Streaming sojourn digest over the tenant's completed instances
+    /// (queue wait included).
+    pub digest: StreamingPercentiles,
+}
+
+impl TenantStats {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            arrivals: 0,
+            completed: 0,
+            failed: 0,
+            deadline_exceeded: 0,
+            shed: 0,
+            digest: StreamingPercentiles::new(),
+        }
+    }
+
+    /// Sojourn-percentile digest of the tenant's completed instances;
+    /// `None` when nothing completed.
+    pub fn sojourn_percentiles(&self) -> Option<PercentileSummary> {
+        self.digest.summary()
+    }
+}
+
+/// One tenant's workload in a [`MultiLoad`] run: a workflow spec, its
+/// payload, an explicit release trace, and a fair-share weight for the
+/// weighted-round-robin admission queue.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Tenant name, carried into [`TenantStats::name`].
+    pub name: String,
+    /// The workflow every instance of this tenant runs.
+    pub spec: WorkflowSpec,
+    /// Payload injected into every instance's roots.
+    pub payload: Bytes,
+    /// Explicit arrival instants (non-decreasing). An explicit trace —
+    /// rather than an [`ArrivalProcess`] — lets a tenant model
+    /// multi-phase shapes (pre-burst / burst / recovery) directly.
+    pub releases: Vec<Nanos>,
+    /// Fair-share weight at the admission queue (≥ 1; a weight-4 tenant
+    /// dequeues 4× as often as a weight-1 tenant when both are backed
+    /// up).
+    pub weight: u64,
+}
+
+impl TenantLoad {
+    /// A tenant generating `instances` arrivals from `arrivals`.
+    pub fn from_process(
+        name: impl Into<String>,
+        spec: WorkflowSpec,
+        payload: Bytes,
+        arrivals: &ArrivalProcess,
+        instances: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            spec,
+            payload,
+            releases: arrivals.times(instances),
+            weight: 1,
+        }
+    }
+}
+
+/// A multi-tenant open-loop workload: every tenant's release trace is
+/// interleaved onto the **shared** timelines (stable-ordered by time,
+/// ties by tenant index), each instance runs its own tenant's spec and
+/// payload, and per-tenant warmth never aliases — each tenant gets its
+/// own admission lane, so one tenant's warm instances are invisible to
+/// another's (the paper's per-tenant trust boundary).
+///
+/// Combined with an overload [`QueueConfig`](crate::overload::QueueConfig),
+/// the weighted admission queue is the fairness lever the ROADMAP's
+/// multi-tenant item calls for: an adversarial tenant's backlog queues
+/// behind its own weight instead of starving everyone.
+#[derive(Debug, Clone)]
+pub struct MultiLoad {
+    /// The tenants, in lane order.
+    pub tenants: Vec<TenantLoad>,
+    /// Cold-start admission model, applied per tenant lane.
+    pub admission: AdmissionConfig,
+}
+
+impl MultiLoad {
+    /// Drives all tenants onto `resources` without overload control
+    /// (every knob off).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or transfer error.
+    pub fn run(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+    ) -> Result<LoadRun, PlatformError> {
+        self.run_overloaded(plane, clock, resources, policy, None, None, &OverloadConfig::default())
+    }
+
+    /// [`run`](Self::run) with the full stack in the loop: optional
+    /// autoscaler, optional failure plan, and the overload-control
+    /// configuration (deadlines, retry budgets, breakers, bounded
+    /// queues with weighted-fair shedding).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or non-fault transfer error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_overloaded(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+        autoscaler: Option<&mut Autoscaler>,
+        failures: Option<&FailurePlan>,
+        overload: &OverloadConfig,
+    ) -> Result<LoadRun, PlatformError> {
+        let mut releases: Vec<(Nanos, usize, usize)> = Vec::new();
+        for (tenant, load) in self.tenants.iter().enumerate() {
+            for (user, &at) in load.releases.iter().enumerate() {
+                releases.push((at, tenant, user));
+            }
+        }
+        // Stable by time: equal instants keep tenant order, so the
+        // interleaving is deterministic.
+        releases.sort_by_key(|&(at, _, _)| at);
+        let work: Vec<TenantWork<'_>> = self
+            .tenants
+            .iter()
+            .map(|t| TenantWork {
+                name: &t.name,
+                spec: &t.spec,
+                payload: &t.payload,
+                weight: t.weight.max(1),
+            })
+            .collect();
+        drive(
+            &work,
+            Admission::Multi { releases },
+            &self.admission,
+            plane,
+            clock,
+            resources,
+            policy,
+            autoscaler,
+            failures,
+            overload,
+        )
     }
 }
 
@@ -598,9 +798,44 @@ impl OpenLoop {
         autoscaler: Option<&mut Autoscaler>,
         failures: Option<&FailurePlan>,
     ) -> Result<LoadRun, PlatformError> {
+        self.run_overloaded(
+            plane,
+            clock,
+            resources,
+            policy,
+            autoscaler,
+            failures,
+            &OverloadConfig::default(),
+        )
+    }
+
+    /// [`run_with_failures`](Self::run_with_failures) under an
+    /// [`OverloadConfig`]: deadlines, retry budgets, circuit breakers
+    /// and bounded-queue shedding. The default (all-off) config is
+    /// byte-identical to [`run_with_failures`](Self::run_with_failures).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or non-fault transfer error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_overloaded(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+        autoscaler: Option<&mut Autoscaler>,
+        failures: Option<&FailurePlan>,
+        overload: &OverloadConfig,
+    ) -> Result<LoadRun, PlatformError> {
+        let work = [TenantWork {
+            name: &self.spec.tenant,
+            spec: &self.spec,
+            payload: &self.payload,
+            weight: 1,
+        }];
         drive(
-            &self.spec,
-            &self.payload,
+            &work,
             Admission::Open {
                 releases: self.arrivals.times(self.instances),
                 mean_interval_ns: self.arrivals.mean_interval_ns(),
@@ -612,6 +847,7 @@ impl OpenLoop {
             policy,
             autoscaler,
             failures,
+            overload,
         )
     }
 }
@@ -698,10 +934,44 @@ impl ClosedLoop {
         autoscaler: Option<&mut Autoscaler>,
         failures: Option<&FailurePlan>,
     ) -> Result<LoadRun, PlatformError> {
+        self.run_overloaded(
+            plane,
+            clock,
+            resources,
+            policy,
+            autoscaler,
+            failures,
+            &OverloadConfig::default(),
+        )
+    }
+
+    /// [`run_with_failures`](Self::run_with_failures) under an
+    /// [`OverloadConfig`] (see [`OpenLoop::run_overloaded`]). The
+    /// default (all-off) config is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation or non-fault transfer error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_overloaded(
+        &self,
+        plane: &mut dyn DataPlane,
+        clock: &VirtualClock,
+        resources: &mut SchedResources,
+        policy: &mut dyn PlacementPolicy,
+        autoscaler: Option<&mut Autoscaler>,
+        failures: Option<&FailurePlan>,
+        overload: &OverloadConfig,
+    ) -> Result<LoadRun, PlatformError> {
         assert!(self.users > 0, "a closed loop needs at least one user");
+        let work = [TenantWork {
+            name: &self.spec.tenant,
+            spec: &self.spec,
+            payload: &self.payload,
+            weight: 1,
+        }];
         drive(
-            &self.spec,
-            &self.payload,
+            &work,
             Admission::Closed {
                 users: self.users,
                 think_ns: self.think_ns,
@@ -715,24 +985,37 @@ impl ClosedLoop {
             policy,
             autoscaler,
             failures,
+            overload,
         )
     }
 }
 
+/// One tenant's share of a [`drive`] call: the spec/payload to run and
+/// the fair-share weight. Single-tenant drivers pass exactly one.
+struct TenantWork<'a> {
+    name: &'a str,
+    spec: &'a WorkflowSpec,
+    payload: &'a Bytes,
+    weight: u64,
+}
+
 /// How the engine admits instances.
 enum Admission {
-    /// Pre-scheduled arrival times (instance k = user k).
+    /// Pre-scheduled arrival times (instance k = user k, tenant 0).
     Open { releases: Vec<Nanos>, mean_interval_ns: Nanos },
     /// `users` slots seeded `ramp_ns` apart, each re-arming `think_ns`
     /// after its completion, until `instances` total have been admitted.
     Closed { users: usize, think_ns: Nanos, ramp_ns: Nanos, instances: usize },
+    /// Pre-merged multi-tenant release trace: `(at, tenant, user)`,
+    /// non-decreasing in time.
+    Multi { releases: Vec<(Nanos, usize, usize)> },
 }
 
 /// Engine events: an instance arriving for admission, one completing
 /// (or failing — failed instances re-arm their closed-loop user too),
 /// or the control plane removing a node it detected dead.
 enum LoadEvent {
-    Arrival { user: usize },
+    Arrival { tenant: usize, user: usize },
     Completion { user: usize, instance: usize },
     NodeKill { node_id: u64 },
 }
@@ -837,19 +1120,151 @@ impl AdmissionState {
     }
 }
 
-/// The shared completion-event engine behind [`OpenLoop`] and
-/// [`ClosedLoop`].
+/// One tenant's per-run lane: the compiled spec, interned names, its
+/// own admission state (per-tenant warmth never aliases — the paper's
+/// per-tenant trust boundary), and its slice of the bounded admission
+/// queue.
+struct Lane<'a> {
+    spec: &'a WorkflowSpec,
+    payload: &'a Bytes,
+    compiled: CompiledWorkflow<'a>,
+    fn_names: Vec<String>,
+    weight: u64,
+    admission_state: AdmissionState,
+    /// Queued-but-not-admitted arrivals: `(user, arrival_ns)` in FIFO
+    /// order (only populated under an overload queue config).
+    queued: VecDeque<(usize, Nanos)>,
+}
+
+/// The run-wide mutable counters threaded through [`start_instance`].
+struct Counters {
+    failed: usize,
+    deadline_exceeded: usize,
+    retries: u64,
+    in_flight: usize,
+}
+
+/// Admits and executes one instance of `lane` at `start_ns` (its
+/// arrival was at `arrival_ns`; they differ only for instances that
+/// waited in the bounded queue). The one definition of the
+/// place → admit → execute → account sequence, shared by the direct
+/// arrival path and the queue-drain path — its mutation order against
+/// `resources`/`policy`/`plane` is exactly the pre-overload engine's,
+/// which is what keeps the all-knobs-off run byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn start_instance(
+    lane: &mut Lane<'_>,
+    stats: &mut TenantStats,
+    tenant: usize,
+    user: usize,
+    arrival_ns: Nanos,
+    start_ns: Nanos,
+    view_is_fresh: bool,
+    plane: &mut dyn DataPlane,
+    clock: &VirtualClock,
+    resources: &mut SchedResources,
+    policy: &mut dyn PlacementPolicy,
+    view: &mut ResourceView,
+    faults: Option<&RetryPolicy>,
+    overload: &OverloadConfig,
+    overload_state: &mut OverloadState,
+    counters: &mut Counters,
+    outcomes: &mut Vec<InstanceOutcome>,
+    queue: &mut EventQueue<LoadEvent>,
+) -> Result<(), PlatformError> {
+    if !view_is_fresh {
+        resources.view_into(start_ns, view);
+    }
+    // Open circuits push their nodes' apparent backlog up before the
+    // policy looks — placement steers away without any policy change.
+    overload_state.penalize_view(start_ns, view);
+    let assignment = policy.place(lane.spec, view);
+    // Charge instantiation: warm-set misses reserve the fig2a-style
+    // full cost on the node's CPU; pool misses pay their tier (full
+    // build or snapshot restore) while hits admit warm. Either way a
+    // charged instance's release is delayed past the work.
+    let admitted = lane.admission_state.admit(start_ns, &assignment, resources);
+    let release = admitted.release_ns;
+    let mut placed = InstancePlane { inner: plane, names: &lane.fn_names, nodes: &assignment };
+    // The overload control block rides along only when a knob is on:
+    // the all-off engine path must not even construct it.
+    let ctl = if overload.is_off() {
+        None
+    } else {
+        Some(OverloadCtl {
+            tenant,
+            deadline_ns: overload.deadline_ns.map(|d| arrival_ns.saturating_add(d)),
+            state: overload_state,
+        })
+    };
+    let outcome = run_compiled_at(
+        &mut placed,
+        clock,
+        &lane.compiled,
+        lane.payload.clone(),
+        resources,
+        release,
+        faults,
+        ctl,
+    )?;
+    let instance = outcomes.len();
+    let (finish, failed, deadline_exceeded, retries) = match outcome {
+        FaultyOutcome::Completed { run, retries } => {
+            (release + run.total_latency_ns, false, false, retries)
+        }
+        // Failed instances still produce a completion event: the
+        // closed-loop user saw an error and re-arms.
+        FaultyOutcome::Failed { failure, retries } => {
+            counters.failed += 1;
+            stats.failed += 1;
+            (failure.failed_at_ns.max(release), true, false, retries)
+        }
+        // Deadline aborts are shed-as-stale, not failures; they too
+        // produce a completion event (the user saw a timeout).
+        FaultyOutcome::DeadlineExceeded { at_ns, retries } => {
+            counters.deadline_exceeded += 1;
+            stats.deadline_exceeded += 1;
+            (at_ns.max(release), false, true, retries)
+        }
+    };
+    counters.retries += u64::from(retries);
+    if !failed && !deadline_exceeded {
+        stats.completed += 1;
+        stats.digest.record(finish - arrival_ns);
+    }
+    outcomes.push(InstanceOutcome {
+        instance,
+        user,
+        release_ns: arrival_ns,
+        cold_start_ns: release - start_ns,
+        pool_hits: admitted.hits,
+        pool_misses: admitted.misses,
+        finish_ns: finish,
+        sojourn_ns: finish - arrival_ns,
+        assignment,
+        tenant,
+        failed,
+        deadline_exceeded,
+        retries,
+    });
+    counters.in_flight += 1;
+    queue.push(finish, LoadEvent::Completion { user, instance });
+    Ok(())
+}
+
+/// The shared completion-event engine behind [`OpenLoop`],
+/// [`ClosedLoop`] and [`MultiLoad`].
 ///
 /// Events drain in deterministic time order (FIFO among equals). Each
 /// arrival snapshots the live view, places, charges cold starts, and
 /// executes the instance at its release; each completion re-arms its
-/// closed-loop user. The autoscaler (when present) observes at *every*
-/// event, so it sees both pressure building (arrivals) and draining
-/// (completions).
+/// closed-loop user and drains the bounded admission queue (when one is
+/// configured) in smooth weighted-round-robin tenant order. The
+/// autoscaler (when present) observes at *every* event, so it sees both
+/// pressure building (arrivals) and draining (completions).
 #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn drive(
-    spec: &WorkflowSpec,
-    payload: &Bytes,
+    tenants: &[TenantWork<'_>],
     admission: Admission,
     admission_cfg: &AdmissionConfig,
     plane: &mut dyn DataPlane,
@@ -858,6 +1273,7 @@ fn drive(
     policy: &mut dyn PlacementPolicy,
     mut autoscaler: Option<&mut Autoscaler>,
     failures: Option<&FailurePlan>,
+    overload: &OverloadConfig,
 ) -> Result<LoadRun, PlatformError> {
     let (cpu0, _) = resources.cpu_reserved();
     let (link0, _) = resources.link_reserved();
@@ -874,11 +1290,33 @@ fn drive(
         None => None,
     };
 
-    // Per-run precomputation: validate/topo-sort the spec once for every
-    // instance (the compiled form), and intern the function-name list the
-    // placement override needs — neither is per-arrival work.
-    let compiled = CompiledWorkflow::compile(spec)?;
-    let fn_names: Vec<String> = spec.functions().iter().map(|&f| f.to_owned()).collect();
+    // Per-run precomputation, per tenant lane: validate/topo-sort each
+    // spec once for every instance (the compiled form), and intern the
+    // function-name list the placement override needs — neither is
+    // per-arrival work. Each lane owns its admission state, so one
+    // tenant's warmth is invisible to another's.
+    let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(tenants.len());
+    let mut tenant_stats: Vec<TenantStats> = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        let compiled = CompiledWorkflow::compile(t.spec)?;
+        let fn_names: Vec<String> = t.spec.functions().iter().map(|&f| f.to_owned()).collect();
+        let admission_state = AdmissionState::new(admission_cfg, fn_names.len());
+        lanes.push(Lane {
+            spec: t.spec,
+            payload: t.payload,
+            compiled,
+            fn_names,
+            weight: t.weight.max(1),
+            admission_state,
+            queued: VecDeque::new(),
+        });
+        tenant_stats.push(TenantStats::new(t.name));
+    }
+    // Budget buckets and breaker circuits for the whole run.
+    let mut overload_state = OverloadState::new(overload);
+    // Smooth weighted-round-robin credit per tenant lane (the
+    // queue-drain fairness state).
+    let mut wrr_credit: Vec<i128> = vec![0; lanes.len()];
     // Scratch snapshot refreshed in place at every observation point:
     // the per-event view is allocation-free in steady state.
     let mut view = ResourceView::default();
@@ -899,29 +1337,35 @@ fn drive(
     let (mut admitted, instance_bound, think_ns) = match &admission {
         Admission::Open { releases, .. } => {
             for (user, &at) in releases.iter().enumerate() {
-                queue.push(at, LoadEvent::Arrival { user });
+                queue.push(at, LoadEvent::Arrival { tenant: 0, user });
             }
             (releases.len(), releases.len(), 0)
         }
         Admission::Closed { users, think_ns, ramp_ns, instances } => {
             let seed = (*users).min(*instances);
             for user in 0..seed {
-                queue.push(user as Nanos * ramp_ns, LoadEvent::Arrival { user });
+                queue.push(user as Nanos * ramp_ns, LoadEvent::Arrival { tenant: 0, user });
             }
             (seed, *instances, *think_ns)
         }
+        Admission::Multi { releases } => {
+            for &(at, tenant, user) in releases {
+                queue.push(at, LoadEvent::Arrival { tenant, user });
+            }
+            (releases.len(), releases.len(), 0)
+        }
     };
     let mut outcomes: Vec<InstanceOutcome> = Vec::new();
-    let mut failed_count: usize = 0;
-    let mut total_retries: u64 = 0;
+    let mut counters =
+        Counters { failed: 0, deadline_exceeded: 0, retries: 0, in_flight: 0 };
+    let mut arrivals_total: usize = 0;
+    let mut shed_total: usize = 0;
+    // Queued arrivals across all lanes (kept incrementally so the
+    // overflow check is O(1)).
+    let mut queued_total: usize = 0;
     // Link-health epoch last pushed into the plane (see the memo): only
     // transitions move it, so a failure-free run never calls the hook.
     let mut last_epoch: u64 = 0;
-    // Admission state (warm set or warm pool) resolved once per run.
-    let mut admission_state = AdmissionState::new(admission_cfg, fn_names.len());
-    // Instances currently in flight — the closed-loop demand estimate
-    // that predictive pre-warming staffs against.
-    let mut in_flight: usize = 0;
     let mut known_nodes = resources.node_count();
     // Time-weighted active-lane capacity (∫ lanes dt over the event
     // timeline) — the utilization denominators under elastic capacity.
@@ -960,94 +1404,200 @@ fn drive(
         if nodes_now != known_nodes {
             // Scale-in drops node timelines: anything warmed on a
             // removed node must re-pay its cold start if the index is
-            // later re-added (a re-added node is a brand-new machine).
+            // later re-added (a re-added index is a brand-new machine).
             if nodes_now < known_nodes {
-                admission_state.shrink_to(nodes_now, now);
+                for lane in &mut lanes {
+                    lane.admission_state.shrink_to(nodes_now, now);
+                }
             }
             cpu_lanes = resources.cpu_lanes();
             link_lanes = resources.link_lanes();
             known_nodes = nodes_now;
         }
         // Predictive pre-warming: with both a prewarm-configured
-        // controller and pooled admission present, re-staff the pool
+        // controller and pooled admission present, re-staff the pools
         // toward the square-root staffing target at every event (not
         // just on cooldown-gated decisions — evictions between
         // decisions would otherwise leave the pool empty).
         if let Some(scaler) = autoscaler.as_deref_mut() {
-            if let AdmissionState::Pool(pool) = &mut admission_state {
-                if let Some(target) = scaler.prewarm_target(now, in_flight, resources.node_count())
+            if lanes.iter().any(|l| matches!(l.admission_state, AdmissionState::Pool(_))) {
+                if let Some(target) =
+                    scaler.prewarm_target(now, counters.in_flight, resources.node_count())
                 {
-                    pool.ensure_target(now, target, in_flight, resources);
+                    for lane in &mut lanes {
+                        if let AdmissionState::Pool(pool) = &mut lane.admission_state {
+                            pool.ensure_target(now, target, counters.in_flight, resources);
+                        }
+                    }
                 }
             }
         }
         match event {
-            LoadEvent::Arrival { user } => {
-                if !observed {
-                    resources.view_into(now, &mut view);
+            LoadEvent::Arrival { tenant, user } => {
+                arrivals_total += 1;
+                tenant_stats[tenant].arrivals += 1;
+                if let Some(qcfg) = overload.queue {
+                    if counters.in_flight >= qcfg.max_in_flight {
+                        // No admission slot: queue the arrival, or shed
+                        // per policy when the shared queue is full.
+                        if queued_total >= qcfg.queue_cap {
+                            let shed_tenant = match qcfg.policy {
+                                // Tail drop (CoDel also tail-drops on
+                                // overflow; its sojourn check runs at
+                                // dequeue).
+                                ShedPolicy::RejectNewest | ShedPolicy::CoDel { .. } => tenant,
+                                // Shed the globally oldest queued entry
+                                // (most likely already stale) and queue
+                                // the newcomer in its place.
+                                ShedPolicy::RejectOldest => {
+                                    let oldest = lanes
+                                        .iter()
+                                        .enumerate()
+                                        .filter_map(|(i, l)| {
+                                            l.queued.front().map(|&(_, at)| (at, i))
+                                        })
+                                        .min()
+                                        .map(|(_, i)| i);
+                                    match oldest {
+                                        Some(victim) => {
+                                            lanes[victim].queued.pop_front();
+                                            lanes[tenant].queued.push_back((user, now));
+                                            victim
+                                        }
+                                        // Zero-capacity queue: nothing
+                                        // to displace, drop the arrival.
+                                        None => tenant,
+                                    }
+                                }
+                            };
+                            shed_total += 1;
+                            tenant_stats[shed_tenant].shed += 1;
+                        } else {
+                            lanes[tenant].queued.push_back((user, now));
+                            queued_total += 1;
+                        }
+                    } else {
+                        start_instance(
+                            &mut lanes[tenant],
+                            &mut tenant_stats[tenant],
+                            tenant,
+                            user,
+                            now,
+                            now,
+                            observed,
+                            plane,
+                            clock,
+                            resources,
+                            policy,
+                            &mut view,
+                            faults,
+                            overload,
+                            &mut overload_state,
+                            &mut counters,
+                            &mut outcomes,
+                            &mut queue,
+                        )?;
+                    }
+                } else {
+                    start_instance(
+                        &mut lanes[tenant],
+                        &mut tenant_stats[tenant],
+                        tenant,
+                        user,
+                        now,
+                        now,
+                        observed,
+                        plane,
+                        clock,
+                        resources,
+                        policy,
+                        &mut view,
+                        faults,
+                        overload,
+                        &mut overload_state,
+                        &mut counters,
+                        &mut outcomes,
+                        &mut queue,
+                    )?;
                 }
-                let assignment = policy.place(spec, &view);
-                // Charge instantiation: warm-set misses reserve the
-                // fig2a-style full cost on the node's CPU; pool misses
-                // pay their tier (full build or snapshot restore) while
-                // hits admit warm. Either way a charged instance's
-                // release is delayed past the work.
-                let admitted = admission_state.admit(now, &assignment, resources);
-                let release = admitted.release_ns;
-                let mut placed =
-                    InstancePlane { inner: plane, names: &fn_names, nodes: &assignment };
-                let outcome = run_compiled_at(
-                    &mut placed,
-                    clock,
-                    &compiled,
-                    payload.clone(),
-                    resources,
-                    release,
-                    faults,
-                )?;
-                let instance = outcomes.len();
-                let (finish, failed, retries) = match outcome {
-                    FaultyOutcome::Completed { run, retries } => {
-                        (release + run.total_latency_ns, false, retries)
-                    }
-                    // Failed instances still produce a completion event:
-                    // the closed-loop user saw an error and re-arms.
-                    FaultyOutcome::Failed { failure, retries } => {
-                        failed_count += 1;
-                        (failure.failed_at_ns.max(release), true, retries)
-                    }
-                };
-                total_retries += u64::from(retries);
-                outcomes.push(InstanceOutcome {
-                    instance,
-                    user,
-                    release_ns: now,
-                    cold_start_ns: release - now,
-                    pool_hits: admitted.hits,
-                    pool_misses: admitted.misses,
-                    finish_ns: finish,
-                    sojourn_ns: finish - now,
-                    assignment,
-                    failed,
-                    retries,
-                });
-                in_flight += 1;
-                queue.push(finish, LoadEvent::Completion { user, instance });
             }
             LoadEvent::Completion { user, instance } => {
-                in_flight = in_flight.saturating_sub(1);
+                counters.in_flight = counters.in_flight.saturating_sub(1);
+                let tenant = outcomes[instance].tenant;
                 // A completed instance hands its functions back to the
-                // pool; a failed one is torn down where it died, so it
-                // returns nothing.
-                if !outcomes[instance].failed {
-                    admission_state.complete(now, &outcomes[instance].assignment);
+                // pool; a failed or deadline-blown one is torn down
+                // where it died, so it returns nothing.
+                if !outcomes[instance].failed && !outcomes[instance].deadline_exceeded {
+                    lanes[tenant]
+                        .admission_state
+                        .complete(now, &outcomes[instance].assignment);
                 }
                 // Closed loop: the freed user thinks, then re-arrives —
                 // the arrival is gated on this completion by
                 // construction.
                 if matches!(admission, Admission::Closed { .. }) && admitted < instance_bound {
                     admitted += 1;
-                    queue.push(now + think_ns, LoadEvent::Arrival { user });
+                    queue.push(now + think_ns, LoadEvent::Arrival { tenant, user });
+                }
+                // Drain the bounded queue into the freed capacity in
+                // smooth weighted-round-robin tenant order: each round,
+                // every backed-up tenant earns its weight in credit, the
+                // richest (ties → lowest index) dequeues and pays the
+                // total active weight back.
+                if let Some(qcfg) = overload.queue {
+                    while counters.in_flight < qcfg.max_in_flight && queued_total > 0 {
+                        let mut total_weight: i128 = 0;
+                        let mut pick: Option<usize> = None;
+                        for (i, lane) in lanes.iter().enumerate() {
+                            if lane.queued.is_empty() {
+                                continue;
+                            }
+                            wrr_credit[i] += i128::from(lane.weight);
+                            total_weight += i128::from(lane.weight);
+                            match pick {
+                                Some(p) if wrr_credit[p] >= wrr_credit[i] => {}
+                                _ => pick = Some(i),
+                            }
+                        }
+                        let Some(pick) = pick else { break };
+                        wrr_credit[pick] -= total_weight;
+                        let (quser, qarrival) = lanes[pick]
+                            .queued
+                            .pop_front()
+                            .expect("picked lanes have queued arrivals");
+                        queued_total -= 1;
+                        // CoDel-style staleness check at dequeue: an
+                        // arrival that already overstayed the sojourn
+                        // target is dead on arrival — shed it instead
+                        // of burning capacity on it.
+                        if let ShedPolicy::CoDel { target_ns } = qcfg.policy {
+                            if now.saturating_sub(qarrival) > target_ns {
+                                shed_total += 1;
+                                tenant_stats[pick].shed += 1;
+                                continue;
+                            }
+                        }
+                        start_instance(
+                            &mut lanes[pick],
+                            &mut tenant_stats[pick],
+                            pick,
+                            quser,
+                            qarrival,
+                            now,
+                            false,
+                            plane,
+                            clock,
+                            resources,
+                            policy,
+                            &mut view,
+                            faults,
+                            overload,
+                            &mut overload_state,
+                            &mut counters,
+                            &mut outcomes,
+                            &mut queue,
+                        )?;
+                    }
                 }
             }
             LoadEvent::NodeKill { node_id } => {
@@ -1061,7 +1611,9 @@ fn drive(
                 if let Some(victim) = resources.node_index_of(node_id) {
                     if resources.node_count() > 1 {
                         resources.remove_node(victim, now);
-                        admission_state.remove_node(victim, now);
+                        for lane in &mut lanes {
+                            lane.admission_state.remove_node(victim, now);
+                        }
                         cpu_lanes = resources.cpu_lanes();
                         link_lanes = resources.link_lanes();
                         known_nodes = resources.node_count();
@@ -1071,13 +1623,42 @@ fn drive(
         }
     }
 
+    // Arrivals still queued when the event stream dried up never ran:
+    // they count as shed, keeping `arrivals == outcomes + shed` exact.
+    for (i, lane) in lanes.iter().enumerate() {
+        let leftover = lane.queued.len();
+        if leftover > 0 {
+            shed_total += leftover;
+            tenant_stats[i].shed += leftover;
+        }
+    }
+
     let first = outcomes.first().map(|o| o.release_ns).unwrap_or(0);
     let last = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(first);
     let horizon_ns = last - first;
     // Keep-alive fates settle at the run horizon: still-warm instances
     // whose TTL would expire by then count as evictions, the rest stay
-    // warm at end (so the idle-residency integral is complete).
-    let pool = admission_state.finalize(last);
+    // warm at end (so the idle-residency integral is complete). Lane
+    // pools merge by summation into the run-level accounting.
+    let mut pool: Option<PoolStats> = None;
+    for lane in lanes {
+        if let Some(stats) = lane.admission_state.finalize(last) {
+            pool = Some(match pool {
+                None => stats,
+                Some(acc) => PoolStats {
+                    hits: acc.hits + stats.hits,
+                    misses: acc.misses + stats.misses,
+                    restores: acc.restores + stats.restores,
+                    returns: acc.returns + stats.returns,
+                    evictions: acc.evictions + stats.evictions,
+                    prewarms: acc.prewarms + stats.prewarms,
+                    prewarm_ns: acc.prewarm_ns + stats.prewarm_ns,
+                    idle_ns: acc.idle_ns + stats.idle_ns,
+                    warm_at_end: acc.warm_at_end + stats.warm_at_end,
+                },
+            });
+        }
+    }
     let (cpu1, _) = resources.cpu_reserved();
     let (link1, _) = resources.link_reserved();
     let util = |used: Nanos, lane_ns: u128| {
@@ -1100,12 +1681,33 @@ fn drive(
             }
         }
         Admission::Closed { .. } => 0.0, // filled from the measured rate below
+        // Multi offers the merged trace's mean rate: n−1 gaps over the
+        // release span. Degenerate traces (< 2 releases, or all at one
+        // instant) offer 0.0 — never NaN.
+        Admission::Multi { releases } => {
+            if releases.len() < 2 {
+                0.0
+            } else {
+                let first_at = releases.first().map(|r| r.0).unwrap_or(0);
+                let last_at = releases.last().map(|r| r.0).unwrap_or(0);
+                let span = last_at.saturating_sub(first_at);
+                if span == 0 {
+                    0.0
+                } else {
+                    (releases.len() - 1) as f64 * 1e9 / span as f64
+                }
+            }
+        }
     };
     let mut run = LoadRun {
         outcomes,
         horizon_ns,
-        failed: failed_count,
-        retries: total_retries,
+        failed: counters.failed,
+        arrivals: arrivals_total,
+        shed: shed_total,
+        deadline_exceeded: counters.deadline_exceeded,
+        tenants: tenant_stats,
+        retries: counters.retries,
         offered_rps,
         pool,
         cpu_utilization: util(cpu1 - cpu0, cpu_lane_ns),
@@ -2113,5 +2715,240 @@ mod tests {
             .run(&mut plane, &clock, &mut res, &mut policy)
             .unwrap();
         assert!((run.offered_rps - 1_000.0).abs() < 1e-9);
+    }
+
+    use crate::overload::{OverloadConfig, QueueConfig, ShedPolicy};
+
+    fn queue_only(max_in_flight: usize, queue_cap: usize, policy: ShedPolicy) -> OverloadConfig {
+        OverloadConfig {
+            queue: Some(QueueConfig { max_in_flight, queue_cap, policy }),
+            ..OverloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn an_all_shed_run_reports_zeroes_and_none_never_nan() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        // Zero slots, zero queue: every arrival is shed at admission.
+        let cfg = queue_only(0, 0, ShedPolicy::RejectNewest);
+        let run = open(pipeline_spec(), 1_000, 5)
+            .run_overloaded(&mut plane, &clock, &mut res, &mut policy, None, None, &cfg)
+            .unwrap();
+        assert_eq!(run.arrivals, 5);
+        assert_eq!(run.shed, 5);
+        assert!(run.outcomes.is_empty());
+        assert_eq!((run.completed(), run.failed, run.deadline_exceeded), (0, 0, 0));
+        assert!(run.sojourn_percentiles().is_none());
+        assert!(run.throughput_rps() == 0.0 && !run.throughput_rps().is_nan());
+        assert!(!run.offered_rps.is_nan());
+        assert!(!run.cpu_utilization.is_nan() && !run.link_utilization.is_nan());
+        let t = &run.tenants[0];
+        assert_eq!((t.arrivals, t.shed, t.completed), (5, 5, 0));
+        assert!(t.sojourn_percentiles().is_none());
+    }
+
+    #[test]
+    fn the_default_overload_config_is_byte_identical_to_run_with_failures() {
+        let run_pair = || {
+            let clock = VirtualClock::new();
+            let plane = FixedPlane::new(clock.clone());
+            let res = SchedResources::new(2, 4);
+            let policy = SpreadLoad::new();
+            let plan = FailurePlan::new(RetryPolicy::new(4, 2_000, 1 << 40)).with_outages(
+                OutageSchedule::new().link_down(res.node_id(0), res.node_id(1), 0, 4_000),
+            );
+            (clock, plane, res, policy, plan)
+        };
+        let baseline = {
+            let (clock, mut plane, mut res, mut policy, plan) = run_pair();
+            open(pipeline_spec(), 700, 9)
+                .run_with_failures(&mut plane, &clock, &mut res, &mut policy, None, Some(&plan))
+                .unwrap()
+        };
+        let overloaded = {
+            let (clock, mut plane, mut res, mut policy, plan) = run_pair();
+            let cfg = OverloadConfig::default();
+            assert!(cfg.is_off());
+            open(pipeline_spec(), 700, 9)
+                .run_overloaded(&mut plane, &clock, &mut res, &mut policy, None, Some(&plan), &cfg)
+                .unwrap()
+        };
+        assert_eq!(baseline.outcomes.len(), overloaded.outcomes.len());
+        for (a, b) in baseline.outcomes.iter().zip(&overloaded.outcomes) {
+            assert_eq!(
+                (a.release_ns, a.cold_start_ns, a.finish_ns, a.sojourn_ns, a.retries, a.failed),
+                (b.release_ns, b.cold_start_ns, b.finish_ns, b.sojourn_ns, b.retries, b.failed),
+            );
+            assert_eq!(a.assignment, b.assignment);
+            assert!(!b.deadline_exceeded);
+        }
+        assert_eq!(baseline.offered_rps, overloaded.offered_rps);
+        assert_eq!(baseline.cpu_utilization, overloaded.cpu_utilization);
+        assert_eq!(baseline.link_utilization, overloaded.link_utilization);
+        assert_eq!((overloaded.shed, overloaded.deadline_exceeded), (0, 0));
+    }
+
+    #[test]
+    fn multi_tenant_runs_interleave_and_account_per_tenant() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = SpreadLoad::new();
+        let spec_a = WorkflowSpec::sequence("pipe-a", "alice", ["a".to_owned(), "b".to_owned()]);
+        let spec_b = WorkflowSpec::sequence("pipe-b", "bob", ["a".to_owned(), "b".to_owned()]);
+        let load = MultiLoad {
+            tenants: vec![
+                TenantLoad::from_process(
+                    "alice",
+                    spec_a,
+                    Bytes::new(),
+                    &ArrivalProcess::Uniform { interval_ns: 2_000 },
+                    5,
+                ),
+                TenantLoad::from_process(
+                    "bob",
+                    spec_b,
+                    Bytes::new(),
+                    &ArrivalProcess::Uniform { interval_ns: 3_000 },
+                    4,
+                ),
+            ],
+            admission: AdmissionConfig::warm(),
+        };
+        let run = load.run(&mut plane, &clock, &mut res, &mut policy).unwrap();
+        assert_eq!(run.outcomes.len(), 9);
+        assert_eq!(run.arrivals, 9);
+        assert_eq!(run.tenants.len(), 2);
+        assert_eq!(run.tenants[0].name, "alice");
+        assert_eq!(run.tenants[1].name, "bob");
+        for (idx, t) in run.tenants.iter().enumerate() {
+            assert_eq!(t.arrivals, [5, 4][idx]);
+            assert_eq!(t.arrivals, t.completed + t.failed + t.deadline_exceeded + t.shed);
+            assert_eq!(t.completed, run.outcomes.iter().filter(|o| o.tenant == idx && !o.failed).count());
+        }
+        // Same-instant ties keep tenant order: both release at t = 0 and
+        // t = 6000, with alice (lane 0) admitted first each time.
+        let tenant_order: Vec<usize> = run.outcomes.iter().map(|o| o.tenant).collect();
+        assert_eq!(tenant_order, vec![0, 1, 0, 1, 0, 0, 1, 0, 1]);
+        assert_eq!(run.completed(), run.tenants.iter().map(|t| t.completed).sum::<usize>());
+    }
+
+    #[test]
+    fn blown_deadlines_are_accounted_apart_from_failures() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        // A three-stage pipeline: the b→c edge becomes ready 1500 ns
+        // after the roots, past the 100 ns deadline — every instance
+        // blows its deadline at that edge, none "fails".
+        let spec =
+            WorkflowSpec::sequence("pipe3", "t", ["a".to_owned(), "b".to_owned(), "c".to_owned()]);
+        let cfg = OverloadConfig { deadline_ns: Some(100), ..OverloadConfig::default() };
+        let load = OpenLoop {
+            spec,
+            payload: Bytes::new(),
+            arrivals: ArrivalProcess::Uniform { interval_ns: 5_000 },
+            instances: 3,
+            admission: AdmissionConfig::warm(),
+        };
+        let run = load
+            .run_overloaded(&mut plane, &clock, &mut res, &mut policy, None, None, &cfg)
+            .unwrap();
+        assert_eq!(run.outcomes.len(), 3);
+        assert_eq!(run.deadline_exceeded, 3);
+        assert_eq!((run.failed, run.completed(), run.shed), (0, 0, 0));
+        assert!(run.outcomes.iter().all(|o| o.deadline_exceeded && !o.failed));
+        assert!(run.sojourn_percentiles().is_none(), "blown instances never enter the digest");
+        assert_eq!(run.tenants[0].deadline_exceeded, 3);
+        assert_eq!(run.arrivals, run.completed() + run.failed + run.deadline_exceeded + run.shed);
+    }
+
+    #[test]
+    fn the_weighted_queue_drains_tenants_by_their_weights() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        let spec_a = WorkflowSpec::sequence("pipe-a", "alice", ["a".to_owned(), "b".to_owned()]);
+        let spec_b = WorkflowSpec::sequence("pipe-b", "bob", ["a".to_owned(), "b".to_owned()]);
+        let heavy = TenantLoad {
+            name: "alice".to_owned(),
+            spec: spec_a,
+            payload: Bytes::new(),
+            releases: vec![0; 10],
+            weight: 4,
+        };
+        let light = TenantLoad {
+            name: "bob".to_owned(),
+            spec: spec_b,
+            payload: Bytes::new(),
+            releases: vec![0; 10],
+            weight: 1,
+        };
+        let load = MultiLoad { tenants: vec![heavy, light], admission: AdmissionConfig::warm() };
+        // One slot, everything else queues: the drain order is pure
+        // smooth-WRR — a 4:1 cycle of [alice ×2, bob, alice ×2].
+        let cfg = queue_only(1, 64, ShedPolicy::RejectNewest);
+        let run = load
+            .run_overloaded(&mut plane, &clock, &mut res, &mut policy, None, None, &cfg)
+            .unwrap();
+        assert_eq!(run.outcomes.len(), 20);
+        assert_eq!(run.shed, 0);
+        let order: Vec<usize> = run.outcomes.iter().map(|o| o.tenant).collect();
+        // outcomes[0] is the t = 0 immediate admit (alice, lane order);
+        // each subsequent start is one WRR dequeue.
+        assert_eq!(order[0], 0);
+        assert_eq!(&order[1..6], &[0, 0, 1, 0, 0], "one smooth-WRR cycle at weights 4:1");
+        assert_eq!(&order[6..11], &[0, 0, 1, 0, 0]);
+        // Once alice's lane empties, bob drains the remainder.
+        assert_eq!(order.iter().filter(|&&t| t == 1).count(), 10);
+    }
+
+    #[test]
+    fn reject_newest_and_reject_oldest_shed_opposite_ends_of_the_queue() {
+        let run_with = |policy_kind: ShedPolicy| {
+            let clock = VirtualClock::new();
+            let mut plane = FixedPlane::new(clock.clone());
+            let mut res = SchedResources::new(2, 4);
+            let mut policy = LocalityFirst::new();
+            let cfg = queue_only(1, 4, policy_kind);
+            open(pipeline_spec(), 1, 10)
+                .run_overloaded(&mut plane, &clock, &mut res, &mut policy, None, None, &cfg)
+                .unwrap()
+        };
+        // All ten arrivals land before the first completion (1500 ns):
+        // user 0 runs, four queue, five overflow.
+        let newest = run_with(ShedPolicy::RejectNewest);
+        assert_eq!((newest.shed, newest.outcomes.len()), (5, 5));
+        let survivors: Vec<usize> = newest.outcomes.iter().map(|o| o.user).collect();
+        assert_eq!(survivors, vec![0, 1, 2, 3, 4], "reject-newest keeps the early arrivals");
+
+        let oldest = run_with(ShedPolicy::RejectOldest);
+        assert_eq!((oldest.shed, oldest.outcomes.len()), (5, 5));
+        let survivors: Vec<usize> = oldest.outcomes.iter().map(|o| o.user).collect();
+        assert_eq!(survivors, vec![0, 6, 7, 8, 9], "reject-oldest keeps the fresh arrivals");
+    }
+
+    #[test]
+    fn codel_sheds_entries_that_outstayed_the_target_at_dequeue() {
+        let clock = VirtualClock::new();
+        let mut plane = FixedPlane::new(clock.clone());
+        let mut res = SchedResources::new(2, 4);
+        let mut policy = LocalityFirst::new();
+        // Every queued arrival waits ≥ 1500 ns (the first completion),
+        // far past the 100 ns sojourn target: CoDel sheds them all at
+        // dequeue and only the immediately admitted instance completes.
+        let cfg = queue_only(1, 64, ShedPolicy::CoDel { target_ns: 100 });
+        let run = open(pipeline_spec(), 1, 10)
+            .run_overloaded(&mut plane, &clock, &mut res, &mut policy, None, None, &cfg)
+            .unwrap();
+        assert_eq!(run.outcomes.len(), 1);
+        assert_eq!(run.shed, 9);
+        assert_eq!(run.completed(), 1);
+        assert_eq!(run.arrivals, run.completed() + run.failed + run.deadline_exceeded + run.shed);
     }
 }

@@ -406,6 +406,119 @@ impl StreamingPercentiles {
         }
     }
 
+    /// Merges `other` into `self` — the per-tenant → run-level rollup
+    /// seam, combining two digests without re-sorting raw samples.
+    ///
+    /// `count`, `min`, `max` and the mean are always **exact** after a
+    /// merge. Percentiles are exact while both sides still hold their
+    /// raw buffers (the merged digest replays every raw value, so it
+    /// equals a digest fed the concatenated stream); once either side
+    /// has crossed into P² estimation, the merge reconstructs each
+    /// side's piecewise-linear inverse CDF from its marker state and
+    /// feeds fresh estimators a count-proportional synthetic resample —
+    /// approximate, deterministic, and always inside `[min, max]`.
+    pub fn merge(&mut self, other: &StreamingPercentiles) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let count = self.count + other.count;
+        let min_ns = self.min_ns.min(other.min_ns);
+        let max_ns = self.max_ns.max(other.max_ns);
+        let sum = self.sum + other.sum;
+        if !self.small.is_empty() && !other.small.is_empty() {
+            // Both sides still hold every raw value: replaying the
+            // concatenation is exact (and crosses over to estimators
+            // by itself if the union outgrows the exact buffer).
+            let mut fresh = Self::new();
+            for &v in self.small.iter().chain(&other.small) {
+                fresh.record(v);
+            }
+            *self = fresh;
+            return;
+        }
+        // At least one side is estimator-only: build each side's
+        // piecewise-linear CDF from its marker state and invert the
+        // count-weighted mixture at each tracked quantile. Inversion by
+        // bisection over [min, max] is deterministic and always lands
+        // inside the correct population, even for bimodal mixtures
+        // where re-streaming synthetic samples through P² would smear
+        // the gap.
+        let points_a = self.inverse_cdf_points();
+        let points_b = other.inverse_cdf_points();
+        let (weight_a, weight_b) = (self.count as f64, other.count as f64);
+        let mixture_cdf = |v: f64| {
+            (weight_a * forward_cdf(&points_a, v) + weight_b * forward_cdf(&points_b, v))
+                / (weight_a + weight_b)
+        };
+        let invert = |q: f64| {
+            let (mut lo, mut hi) = (min_ns as f64, max_ns as f64);
+            for _ in 0..64 {
+                let mid = 0.5 * (lo + hi);
+                if mixture_cdf(mid) < q {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            hi
+        };
+        let mut fresh = Self::new();
+        // A single recorded value makes each estimator report exactly
+        // that value; `summary()` then clamps and monotonizes as usual.
+        fresh.p50.record(invert(0.50));
+        fresh.p95.record(invert(0.95));
+        fresh.p99.record(invert(0.99));
+        fresh.count = count;
+        fresh.min_ns = min_ns;
+        fresh.max_ns = max_ns;
+        fresh.sum = sum;
+        *self = fresh;
+    }
+
+    /// The digest's inverse CDF as monotone `(fraction, value)` control
+    /// points: the sorted raw buffer while exact, otherwise the three
+    /// P² estimators' 15 markers (each marker's position approximates
+    /// the rank at its fraction) bracketed by the exact min/max.
+    fn inverse_cdf_points(&self) -> Vec<(f64, f64)> {
+        if !self.small.is_empty() {
+            let mut sorted = self.small.clone();
+            sorted.sort_unstable();
+            let n = sorted.len();
+            if n == 1 {
+                let v = sorted[0] as f64;
+                return vec![(0.0, v), (1.0, v)];
+            }
+            return sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64 / (n - 1) as f64, v as f64))
+                .collect();
+        }
+        let (lo, hi) = (self.min_ns as f64, self.max_ns as f64);
+        let mut points = vec![(0.0, lo)];
+        for est in [&self.p50, &self.p95, &self.p99] {
+            let n = est.count as f64;
+            for i in 0..5 {
+                let f = ((est.positions[i] - 1.0) / (n - 1.0)).clamp(0.0, 1.0);
+                points.push((f, est.heights[i].clamp(lo, hi)));
+            }
+        }
+        points.push((1.0, hi));
+        points.sort_by(|a, b| a.partial_cmp(b).expect("fractions and heights are finite"));
+        // Enforce a monotone value profile (P² markers can be locally
+        // non-monotone against mixed fractions).
+        let mut floor = f64::NEG_INFINITY;
+        for p in &mut points {
+            p.1 = p.1.max(floor);
+            floor = p.1;
+        }
+        points
+    }
+
     /// The digest so far; `None` before the first observation. Equals
     /// [`percentiles`] exactly while at most [`STREAMING_EXACT_MAX`]
     /// observations have been recorded.
@@ -439,6 +552,25 @@ impl Default for StreamingPercentiles {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Evaluates a monotone `(fraction, value)` inverse-CDF polyline as a
+/// forward CDF: the fraction of mass at or below `v`.
+fn forward_cdf(points: &[(f64, f64)], v: f64) -> f64 {
+    debug_assert!(!points.is_empty());
+    if v < points[0].1 {
+        return 0.0;
+    }
+    for pair in points.windows(2) {
+        let ((f0, v0), (f1, v1)) = (pair[0], pair[1]);
+        if v <= v1 {
+            if v1 <= v0 {
+                return f1;
+            }
+            return f0 + (f1 - f0) * (v - v0) / (v1 - v0);
+        }
+    }
+    1.0
 }
 
 /// Accumulates samples across experiment repetitions.
@@ -733,5 +865,121 @@ mod tests {
         m.clear();
         assert!(m.samples().is_empty());
         assert!(m.summary("x").is_none());
+    }
+
+    #[test]
+    fn merge_with_empty_sides_is_identity_or_clone() {
+        let mut a = StreamingPercentiles::new();
+        let empty = StreamingPercentiles::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 0);
+        let mut b = StreamingPercentiles::new();
+        for v in [10, 20, 30] {
+            b.record(v);
+        }
+        let before = b.summary();
+        b.merge(&empty);
+        assert_eq!(b.summary(), before, "merging an empty digest must be a no-op");
+        let mut c = StreamingPercentiles::new();
+        c.merge(&b);
+        assert_eq!(c.summary(), before, "merging into an empty digest clones the other side");
+    }
+
+    #[test]
+    fn merge_in_the_exact_regime_equals_the_concatenated_stream() {
+        let mut a = StreamingPercentiles::new();
+        let mut b = StreamingPercentiles::new();
+        let mut concat = StreamingPercentiles::new();
+        for i in 0..20u64 {
+            a.record(i * 7 + 3);
+            concat.record(i * 7 + 3);
+        }
+        for i in 0..20u64 {
+            b.record(i * 13 + 1);
+            concat.record(i * 13 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), concat.summary(), "≤ 64 total observations must stay exact");
+    }
+
+    #[test]
+    fn merge_exact_sides_crossing_the_buffer_replays_all_raw_values() {
+        // 40 + 40 raw values: both sides exact, union (80) crosses the
+        // 64-value buffer. The merge must replay the full concatenation,
+        // matching a digest fed the same stream directly.
+        let mut a = StreamingPercentiles::new();
+        let mut b = StreamingPercentiles::new();
+        let mut concat = StreamingPercentiles::new();
+        for i in 0..40u64 {
+            a.record(i * 11 + 5);
+            concat.record(i * 11 + 5);
+        }
+        for i in 0..40u64 {
+            b.record(i * 17 + 2);
+            concat.record(i * 17 + 2);
+        }
+        a.merge(&b);
+        let (merged, direct) = (a.summary().unwrap(), concat.summary().unwrap());
+        assert_eq!(merged, direct, "replaying both raw buffers must equal the direct stream");
+    }
+
+    #[test]
+    fn merge_of_estimator_digests_tracks_exact_percentiles() {
+        // Two disjoint uniform populations, both past the exact buffer.
+        let mut a = StreamingPercentiles::new();
+        let mut b = StreamingPercentiles::new();
+        let mut all: Vec<Nanos> = Vec::new();
+        for i in 0..600u64 {
+            let v = 1_000 + i * 10; // uniform 1k..7k
+            a.record(v);
+            all.push(v);
+        }
+        for i in 0..400u64 {
+            let v = 50_000 + i * 25; // uniform 50k..60k
+            b.record(v);
+            all.push(v);
+        }
+        a.merge(&b);
+        let merged = a.summary().unwrap();
+        all.sort_unstable();
+        let exact = percentiles_sorted(&all).unwrap();
+        assert_eq!(merged.count, exact.count);
+        assert_eq!(merged.min_ns, exact.min_ns);
+        assert_eq!(merged.max_ns, exact.max_ns);
+        assert!((merged.mean_ns - exact.mean_ns).abs() < 1e-6, "mean is exact under merge");
+        // The 60/40 split puts p50 in the low population and p95/p99 in
+        // the high one; the resampled estimate must land in the right
+        // population and within a loose relative band of the exact rank.
+        for (est, want) in [
+            (merged.p50_ns, exact.p50_ns),
+            (merged.p95_ns, exact.p95_ns),
+            (merged.p99_ns, exact.p99_ns),
+        ] {
+            let (lo, hi) = (want as f64 * 0.85, want as f64 * 1.15);
+            assert!(
+                (est as f64) >= lo && (est as f64) <= hi,
+                "estimate {est} strayed from exact {want}"
+            );
+        }
+        // Internal consistency survives the merge.
+        assert!(merged.min_ns <= merged.p50_ns);
+        assert!(merged.p50_ns <= merged.p95_ns);
+        assert!(merged.p95_ns <= merged.p99_ns);
+        assert!(merged.p99_ns <= merged.max_ns);
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let build = || {
+            let mut a = StreamingPercentiles::new();
+            let mut b = StreamingPercentiles::new();
+            for i in 0..300u64 {
+                a.record(i * i % 9_973 + 1);
+                b.record(i * 31 % 7_919 + 1);
+            }
+            a.merge(&b);
+            a.summary().unwrap()
+        };
+        assert_eq!(build(), build());
     }
 }

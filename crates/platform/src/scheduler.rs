@@ -25,6 +25,20 @@
 //!   elastic experiments sweep;
 //! * [`RoundRobin`] and [`Pinned`] also implement the instance seam, so
 //!   the classic per-function strategies drive the load generator too.
+//!
+//! **The overload-steering seam.** The `ResourceView` snapshot is also
+//! where circuit breakers steer placement: before a policy looks, the
+//! load engine adds each open circuit's configured backlog penalty to
+//! its node (see [`overload`](crate::overload)), so every policy here
+//! routes away from a misbehaving node *without any change to its own
+//! arithmetic* — the penalty is indistinguishable from real backlog.
+//! One caveat worth knowing when tuning: [`SpreadLoad`] sorts nodes by
+//! backlog and then round-robins functions over the whole sorted order,
+//! so a penalized node drops to the *back* of the order but still
+//! receives every `node_count`-th function — breaker penalties demote a
+//! node under SpreadLoad, they cannot evacuate it. [`LocalityFirst`]
+//! and [`PackThenSpill`] pack onto the front of the order, so for them
+//! the penalty is a full evacuation until the circuit closes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

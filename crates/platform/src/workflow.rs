@@ -29,6 +29,7 @@ use roadrunner_vkernel::{Nanos, VirtualClock};
 
 use crate::dag::WorkflowDag;
 use crate::error::PlatformError;
+use crate::overload::OverloadCtl;
 
 /// A named, tenant-scoped workflow over a function DAG.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -526,9 +527,12 @@ pub fn execute_compiled_at(
     resources: &mut SchedResources,
     release_ns: Nanos,
 ) -> Result<WorkflowRun, PlatformError> {
-    match run_compiled_at(plane, clock, compiled, payload, resources, release_ns, None)? {
+    match run_compiled_at(plane, clock, compiled, payload, resources, release_ns, None, None)? {
         FaultyOutcome::Completed { run, .. } => Ok(run),
         FaultyOutcome::Failed { .. } => unreachable!("edges cannot fail without a retry policy"),
+        FaultyOutcome::DeadlineExceeded { .. } => {
+            unreachable!("deadlines require an overload control block")
+        }
     }
 }
 
@@ -566,11 +570,13 @@ impl RetryPolicy {
 
     /// The backoff after the `failed_attempts`-th failed attempt
     /// (counted from 1): `min(base × 2^(failed_attempts−1), max)`.
+    /// The exponential factor saturates at `u64::MAX` once the shift
+    /// exceeds the type — high attempt counts ride the `max_backoff_ns`
+    /// ceiling instead of wrapping or truncating the doubling.
     pub fn backoff_ns(&self, failed_attempts: u32) -> Nanos {
-        let shift = failed_attempts.saturating_sub(1).min(62);
-        self.base_backoff_ns
-            .saturating_mul(1u64 << shift)
-            .min(self.max_backoff_ns)
+        let shift = failed_attempts.saturating_sub(1);
+        let factor = if shift >= 64 { u64::MAX } else { 1u64 << shift };
+        self.base_backoff_ns.saturating_mul(factor).min(self.max_backoff_ns)
     }
 }
 
@@ -596,9 +602,10 @@ pub struct EdgeFailure {
 }
 
 /// Outcome of a fault-aware execution: the run completed (possibly
-/// after retries), or an edge exhausted its retry budget and the
-/// instance failed. `retries` counts failed attempts across **all**
-/// edges of the instance.
+/// after retries), an edge exhausted its retry budget and the
+/// instance failed, or the instance blew its deadline and aborted
+/// early. `retries` counts failed attempts across **all** edges of the
+/// instance.
 #[derive(Debug)]
 pub enum FaultyOutcome {
     /// Every edge eventually succeeded.
@@ -613,6 +620,16 @@ pub enum FaultyOutcome {
         /// The edge that gave up.
         failure: EdgeFailure,
         /// Failed attempts across all edges, the fatal ones included.
+        retries: u32,
+    },
+    /// An edge's ready instant passed the instance's absolute deadline
+    /// (overload control): the engine aborted before placing further
+    /// phases. Distinct from [`FaultyOutcome::Failed`] — the work was
+    /// shed as stale, not exhausted.
+    DeadlineExceeded {
+        /// The ready instant that crossed the deadline.
+        at_ns: Nanos,
+        /// Failed attempts absorbed before the abort.
         retries: u32,
     },
 }
@@ -638,13 +655,14 @@ pub fn execute_compiled_faulty_at(
     release_ns: Nanos,
     retry: &RetryPolicy,
 ) -> Result<FaultyOutcome, PlatformError> {
-    run_compiled_at(plane, clock, compiled, payload, resources, release_ns, Some(retry))
+    run_compiled_at(plane, clock, compiled, payload, resources, release_ns, Some(retry), None)
 }
 
 /// One edge attempt's scheduling result.
 enum Attempt {
     Done { received: Bytes, timing: TransferTiming, start: Nanos, finish: Nanos },
     GaveUp { at: Nanos },
+    DeadlineBlown { at: Nanos },
 }
 
 /// The shared engine behind [`execute_compiled_at`] (faults `None`) and
@@ -652,7 +670,15 @@ enum Attempt {
 /// fault pre-flight is skipped and every `try_reserve_*` degrades to a
 /// plain reservation, so the fault-free path is the exact schedule the
 /// byte-identity gates pin.
-#[allow(clippy::too_many_lines)]
+///
+/// `overload` threads the load engine's per-instance control block in:
+/// deadlines are checked at each edge's ready instant *before* a new
+/// attempt is started, open circuit breakers fail attempts fast (no
+/// transfer, no reservations), and each retry must clear the
+/// (tenant, function, node) token budget. `None` (every direct caller
+/// outside the overload-aware load engine) skips all three checks and
+/// leaves the schedule untouched.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 pub(crate) fn run_compiled_at(
     plane: &mut dyn DataPlane,
     clock: &VirtualClock,
@@ -661,6 +687,7 @@ pub(crate) fn run_compiled_at(
     resources: &mut SchedResources,
     release_ns: Nanos,
     faults: Option<&RetryPolicy>,
+    mut overload: Option<OverloadCtl<'_>>,
 ) -> Result<FaultyOutcome, PlatformError> {
     let dag = compiled.dag();
     let n = compiled.node_count();
@@ -690,15 +717,31 @@ pub(crate) fn run_compiled_at(
             let mut attempts: u32 = 0;
             let mut edge_ready = ready_ns;
             let attempt = loop {
+                // Deadline gate: once the edge's ready instant passes
+                // the instance's absolute deadline, abort before
+                // starting another attempt — stale work places no more
+                // phases.
+                if let Some(ctl) = overload.as_ref() {
+                    if ctl.deadline_ns.is_some_and(|d| edge_ready > d) {
+                        break Attempt::DeadlineBlown { at: edge_ready };
+                    }
+                }
                 attempts += 1;
+                // An open circuit fails the attempt fast: no transfer,
+                // no reservations, and the rejection is *not* recorded
+                // in the breaker's own window.
+                let breaker_blocked = overload
+                    .as_mut()
+                    .is_some_and(|ctl| !ctl.state.breaker_allows(ctl.tenant, v, dst, edge_ready));
                 // Fault pre-flight: a down endpoint or link at the
                 // attempt's ready instant fails the attempt before any
                 // work is done.
-                let blocked = faults.is_some()
-                    && (resources.node_down_at(src, edge_ready)
-                        || resources.node_down_at(dst, edge_ready)
-                        || (src != dst
-                            && resources.link_down_between_at(src, dst, edge_ready)));
+                let blocked = breaker_blocked
+                    || (faults.is_some()
+                        && (resources.node_down_at(src, edge_ready)
+                            || resources.node_down_at(dst, edge_ready)
+                            || (src != dst
+                                && resources.link_down_between_at(src, dst, edge_ready))));
                 if !blocked {
                     let t0 = clock.now();
                     let (received, timing) =
@@ -739,16 +782,37 @@ pub(crate) fn run_compiled_at(
                         } else {
                             c_start
                         };
+                        if let Some(ctl) = overload.as_mut() {
+                            ctl.state.record_attempt(ctl.tenant, v, dst, finish, true);
+                        }
                         break Attempt::Done { received, timing, start, finish };
                     }
                 }
-                let policy = faults.expect("attempts only fail with a retry policy");
+                // Only real failures feed the breaker window; a
+                // breaker-induced rejection must not extend its own
+                // open verdict.
+                if !breaker_blocked {
+                    if let Some(ctl) = overload.as_mut() {
+                        ctl.state.record_attempt(ctl.tenant, v, dst, edge_ready, false);
+                    }
+                }
+                let Some(policy) = faults else {
+                    break Attempt::GaveUp { at: edge_ready };
+                };
                 if attempts >= policy.max_attempts {
                     break Attempt::GaveUp { at: edge_ready };
                 }
+                // A retry under budget control must buy a token; an
+                // empty (tenant, function, node) bucket means give up
+                // now — the anti-retry-storm cap.
+                if let Some(ctl) = overload.as_mut() {
+                    if !ctl.state.try_spend_retry(ctl.tenant, v, dst, edge_ready) {
+                        break Attempt::GaveUp { at: edge_ready };
+                    }
+                }
                 edge_ready = edge_ready.saturating_add(policy.backoff_ns(attempts));
             };
-            retries += attempts - 1;
+            retries += attempts.saturating_sub(1);
 
             match attempt {
                 Attempt::Done { received, timing, start, finish } => {
@@ -776,6 +840,9 @@ pub(crate) fn run_compiled_at(
                         failure: EdgeFailure { from, to, attempts, failed_at_ns: at },
                         retries,
                     });
+                }
+                Attempt::DeadlineBlown { at } => {
+                    return Ok(FaultyOutcome::DeadlineExceeded { at_ns: at, retries });
                 }
             }
         }
@@ -1339,6 +1406,32 @@ mod tests {
         assert_eq!(policy.backoff_ns(3), 4_000);
         assert_eq!(policy.backoff_ns(4), 5_000); // capped
         assert_eq!(policy.backoff_ns(100), 5_000); // shift saturates too
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_shift_boundary_instead_of_overflowing() {
+        // An uncapped policy exposes the raw doubling sequence. The
+        // 63rd failure is the last exact power of two a u64 can hold;
+        // 64 and beyond must pin at the ceiling, not wrap to zero.
+        let policy = RetryPolicy::new(u32::MAX, 1, u64::MAX);
+        assert_eq!(policy.backoff_ns(63), 1u64 << 62);
+        assert_eq!(policy.backoff_ns(64), 1u64 << 63);
+        assert_eq!(policy.backoff_ns(65), u64::MAX);
+        assert_eq!(policy.backoff_ns(u32::MAX), u64::MAX);
+
+        // A wide base saturates through the multiply, never wrapping.
+        let wide = RetryPolicy::new(u32::MAX, u64::MAX / 2, u64::MAX);
+        assert_eq!(wide.backoff_ns(2), u64::MAX - 1);
+        assert_eq!(wide.backoff_ns(3), u64::MAX);
+        assert_eq!(wide.backoff_ns(200), u64::MAX);
+
+        // Monotone non-decreasing across the boundary region.
+        let mut last = 0;
+        for failed in 1..=70 {
+            let b = policy.backoff_ns(failed);
+            assert!(b >= last, "backoff regressed at attempt {failed}");
+            last = b;
+        }
     }
 
     #[test]

@@ -350,6 +350,18 @@ impl ResourceView {
             self.total_backlog_ns() / self.nodes.len() as u64
         }
     }
+
+    /// Adds a synthetic backlog penalty to node `node`'s slice. The
+    /// overload layer uses this to steer placement away from nodes with
+    /// open circuit breakers: policies keep routing on `backlog_ns`
+    /// unchanged and simply see the penalized node as deeply loaded.
+    /// Saturating; only this snapshot is affected, never the underlying
+    /// timelines.
+    pub fn add_backlog_penalty(&mut self, node: usize, penalty_ns: Nanos) {
+        if let Some(n) = self.nodes.get_mut(node) {
+            n.backlog_ns = n.backlog_ns.saturating_add(penalty_ns);
+        }
+    }
 }
 
 /// The cluster's schedulable capacity: per-node CPU [`Timeline`]s plus
